@@ -1,0 +1,76 @@
+"""PERF — micro-benchmarks of the simulation substrate itself.
+
+Not a paper figure: these keep the reproduction honest about simulator
+throughput (events/second, firmware ticks/second, full closed-loop
+trials/second) so regressions in the substrate are caught.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.interaction.user import SimulatedUser
+from repro.sim.kernel import PeriodicTask, Simulator
+
+
+def test_bench_event_throughput(benchmark):
+    """Raw kernel: schedule-and-run a large batch of events."""
+
+    def run():
+        sim = Simulator(seed=0)
+        for i in range(10_000):
+            sim.schedule(i * 1e-4, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run)
+    assert processed == 10_000
+
+
+def test_bench_periodic_tasks(benchmark):
+    """Many interleaved periodic tasks (the hardware polling pattern)."""
+
+    def run():
+        sim = Simulator(seed=0)
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+
+        for i in range(20):
+            PeriodicTask(sim, 0.01 + i * 0.001, tick)
+        sim.run_until(10.0)
+        return counter[0]
+
+    count = benchmark(run)
+    assert count > 5000
+
+
+def test_bench_device_simulated_second(benchmark):
+    """One simulated second of the full device (firmware + displays)."""
+    labels = [f"Item {i}" for i in range(10)]
+
+    def run():
+        device = DistScroll(build_menu(labels), seed=1)
+        device.hold_at(15.0)
+        device.run_for(1.0)
+        return device.board.mcu.ticks
+
+    ticks = benchmark(run)
+    assert ticks >= 49
+
+
+def test_bench_closed_loop_trial(benchmark):
+    """A complete user selection trial through the whole stack."""
+    labels = [f"Item {i}" for i in range(10)]
+
+    def run():
+        device = DistScroll(build_menu(labels), seed=1)
+        user = SimulatedUser(device=device, rng=np.random.default_rng(1))
+        user.practice_trials = 50
+        device.run_for(0.5)
+        return user.select_entry(7).success
+
+    assert benchmark(run)

@@ -1,0 +1,30 @@
+"""Shared plumbing for the benchmark suite.
+
+Each benchmark regenerates one DESIGN.md experiment: pytest-benchmark
+times the harness, while the *scientific* output — the paper's rows and
+series — is printed through the :func:`report` fixture (bypassing
+capture so it lands in ``bench_output.txt``) and persisted as CSV under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult table to the real stdout and save CSV."""
+
+    def _report(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        result.to_csv(RESULTS_DIR / f"{result.experiment_id.replace('/', '_')}.csv")
+        with capsys.disabled():
+            print()
+            print(result.table())
+
+    return _report

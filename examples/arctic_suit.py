@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Arctic snowmobile-suit control — the scenario behind the YoYo (§2).
+
+Rantanen's smart snowmobile suit needed one-handed, thick-glove control
+of heating zones, a GPS beacon and a radio.  The paper positions
+DistScroll as the YoYo's successor: same pull-distance idea, but no
+mechanical parts ("fluids penetrating the case"), no garment attachment,
+no spring to fight.  This example runs the same suit-control tasks with
+arctic mittens through both and prints the comparison.
+
+Run:  python examples/arctic_suit.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.arctic import ArcticSession, SUIT_MENU_SPEC
+
+
+def main() -> None:
+    print("Snowmobile-suit control with arctic mittens")
+    print("===========================================\n")
+    print("Suit functions:")
+    for top, sub in SUIT_MENU_SPEC.items():
+        names = list(sub) if isinstance(sub, dict) else sub
+        print(f"  {top:<12} -> {', '.join(names[:4])}")
+
+    session = ArcticSession(seed=13, n_tasks=5)
+    print("\nTasks (random suit-control selections):")
+    for path in session.tasks:
+        print(f"  - {' > '.join(path)}")
+
+    print(f"\n{'technique':<12} {'s/task':>8} {'errors':>7} "
+          f"{'mech.parts':>11} {'on garment':>11}")
+    print("-" * 55)
+    for report in session.compare():
+        print(
+            f"{report['technique']:<12} {report['mean_task_s']:>8.2f} "
+            f"{report['wrong_activations']:>7d} "
+            f"{str(report['mechanical_parts']):>11} "
+            f"{str(report['garment_attached']):>11}"
+        )
+
+    print(
+        "\nBoth survive the mittens (the point of position control); the"
+        "\nDistScroll gets there with no springs, wheels or garment wiring"
+        "\n— the paper's §2 argument, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

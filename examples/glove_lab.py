@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Hazardous-lab stocktaking with gloves — the paper's flagship scenario.
+
+Section 5.2: gloves "reduce the tactile sensation of the hand and
+fingers and make touch and stylus interfaces harder to use"; stocktaking
+needs one hand for the items and one for the device.  This example runs
+the same inventory-logging session in four glove conditions and then
+shows why the alternatives fail: the same selection workload through the
+touch-screen and button baselines.
+
+Run:  python examples/glove_lab.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.stocktaking import StocktakingSession
+from repro.baselines import ButtonScroller, TouchScroller
+from repro.interaction.gloves import GLOVES
+
+
+def main() -> None:
+    print("Stocktaking in a chemical lab, one-handed, gloved")
+    print("=================================================\n")
+
+    print(f"{'glove':<24} {'items/min':>10} {'s/item':>8} {'wrong':>6}")
+    print("-" * 52)
+    for key in ("none", "latex", "chemical", "winter"):
+        session = StocktakingSession(seed=11, glove=GLOVES[key], n_items=5)
+        reportcard = session.run()
+        print(
+            f"{GLOVES[key].name:<24} "
+            f"{reportcard['items_per_minute']:>10.1f} "
+            f"{reportcard['mean_item_time_s']:>8.2f} "
+            f"{reportcard['wrong_activations']:>6d}"
+        )
+
+    print("\nWhy not just use the touch screen or the keypad?")
+    print(f"{'technique':<12} {'glove':<22} {'mean s':>8} {'errors/trial':>13}")
+    print("-" * 58)
+    for tech_cls, tech_name in ((TouchScroller, "touch"), (ButtonScroller, "buttons")):
+        for key in ("none", "chemical", "arctic"):
+            rng = np.random.default_rng(3)
+            technique = tech_cls(rng=rng, glove=GLOVES[key])
+            trials = [technique.select(0, t, 12) for t in (3, 7, 11) * 3]
+            mean_s = float(np.mean([t.duration_s for t in trials]))
+            errors = sum(t.errors for t in trials) / len(trials)
+            print(
+                f"{tech_name:<12} {GLOVES[key].name:<22} "
+                f"{mean_s:>8.2f} {errors:>13.2f}"
+            )
+
+    print(
+        "\nThe gross-arm-movement channel survives every glove class;"
+        "\nfine-motor channels (touch taps, small keys) degrade steeply."
+    )
+
+
+if __name__ == "__main__":
+    main()

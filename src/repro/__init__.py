@@ -1,0 +1,44 @@
+"""DistScroll reproduction — distance-based one-handed scrolling.
+
+A full-system simulation of Kranz, Holleis & Schmidt's DistScroll
+prototype (2005): the Sharp GP2D120 sensor physics, the Smart-Its
+hardware platform, the island-mapping firmware, simulated users, and the
+competing scrolling techniques of the paper's Related Work — plus the
+experiment harness regenerating every figure and open-question study.
+
+Quickstart
+----------
+>>> from repro import DistScroll, build_menu
+>>> device = DistScroll(build_menu({"Messages": ["Inbox"], "Camera": []}))
+>>> device.hold_at(15.0)
+>>> device.run_for(0.5)
+>>> device.highlighted_label  # doctest: +SKIP
+'Camera'
+"""
+
+from repro.core import (
+    DeviceConfig,
+    DistScroll,
+    MenuCursor,
+    MenuEntry,
+    Placement,
+    ScrollDirection,
+    build_menu,
+    flatten_paths,
+)
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceConfig",
+    "DistScroll",
+    "MenuCursor",
+    "MenuEntry",
+    "Placement",
+    "ScrollDirection",
+    "build_menu",
+    "flatten_paths",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Statistics helpers shared by experiments and benchmarks."""
+
+from repro.analysis.stats import Summary, bootstrap_ci, linear_regression, summarize
+
+__all__ = ["Summary", "bootstrap_ci", "linear_regression", "summarize"]

@@ -1,0 +1,92 @@
+"""Small statistics toolkit for the experiment harness.
+
+Bootstrap confidence intervals and summary rows — enough to print the
+paper-style result tables without dragging in a stats framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "bootstrap_ci", "linear_regression"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one measured series."""
+
+    n: int
+    mean: float
+    std: float
+    median: float
+    ci_low: float
+    ci_high: float
+
+    def row(self, label: str, unit: str = "") -> str:
+        """Format as a fixed-width results-table row."""
+        return (
+            f"{label:<28} n={self.n:<4d} mean={self.mean:8.3f}{unit} "
+            f"sd={self.std:7.3f} median={self.median:8.3f} "
+            f"95%CI=[{self.ci_low:.3f}, {self.ci_high:.3f}]"
+        )
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    n_boot: int = 2000,
+    level: float = 0.95,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if values.size == 1:
+        return float(values[0]), float(values[0])
+    means = np.empty(n_boot)
+    n = values.size
+    for i in range(n_boot):
+        means[i] = values[rng.integers(0, n, size=n)].mean()
+    alpha = (1.0 - level) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize(
+    values: np.ndarray, rng: np.random.Generator | None = None
+) -> Summary:
+    """Summary statistics with a bootstrap CI (seeded rng optional)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    low, high = bootstrap_ci(values, rng)
+    return Summary(
+        n=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        median=float(np.median(values)),
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+def linear_regression(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Ordinary least squares ``y = intercept + slope*x``; returns
+    ``(intercept, slope, r2)``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    design = np.column_stack([np.ones_like(x), x])
+    coeffs, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    predicted = design @ coeffs
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(coeffs[0]), float(coeffs[1]), r2

@@ -1,0 +1,346 @@
+"""The altitude-control game of Section 5.2.
+
+"We think of any sort of character (e.g. aircraft) staying on a fixed
+position somewhere on the left side of the display.  The altitude of the
+character is controlled by moving the DistScroll.  This is done to avoid
+obstacles or to collect items.  The speed of the character could be
+increased or decreased by pressing defined buttons.  Firing bullets or
+dropping objects can also be simulated using one or more buttons."
+
+:class:`AltitudeGame` is a complete implementation on the simulated
+hardware: it reads the distance channel *continuously* (no islands —
+games want the raw analog control), maps it to a pixel row on the 96x40
+top display, scrolls obstacles and collectibles toward the aircraft, and
+wires the three prototype buttons to speed-up, speed-down and fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.board import ADC_CHANNEL_DISTANCE, DistScrollBoard
+from repro.sim.kernel import PeriodicTask
+from repro.signal.filters import ExponentialMovingAverage
+
+__all__ = ["GameConfig", "GameState", "AltitudeGame", "ReactivePilot"]
+
+
+@dataclass(frozen=True)
+class GameConfig:
+    """Tunables of the altitude game.
+
+    Attributes
+    ----------
+    tick_hz:
+        Game loop rate.
+    base_scroll_cols_s:
+        World scroll speed in columns/second at speed level 1.
+    obstacle_rate_hz:
+        Mean obstacle spawn rate.
+    collectible_rate_hz:
+        Mean collectible spawn rate.
+    range_cm:
+        Distance range mapped onto the display height.
+    aircraft_col:
+        Fixed column of the aircraft ("left side of the display").
+    max_speed_level:
+        Upper bound of the speed setting.
+    """
+
+    tick_hz: float = 30.0
+    base_scroll_cols_s: float = 24.0
+    obstacle_rate_hz: float = 1.2
+    collectible_rate_hz: float = 0.8
+    range_cm: tuple[float, float] = (6.0, 27.0)
+    aircraft_col: int = 8
+    max_speed_level: int = 3
+
+
+@dataclass
+class GameState:
+    """Score sheet of a running game."""
+
+    score: int = 0
+    collected: int = 0
+    collisions: int = 0
+    shots_fired: int = 0
+    obstacles_destroyed: int = 0
+    speed_level: int = 1
+    ticks: int = 0
+    game_over: bool = False
+
+
+class AltitudeGame:
+    """The obstacle game running directly on a :class:`DistScrollBoard`.
+
+    The game is an alternative "firmware": construct it on a board
+    *instead of* the menu firmware.  It shows that the platform's public
+    hardware surface supports applications beyond menu browsing.
+
+    Parameters
+    ----------
+    board:
+        Assembled hardware.
+    config:
+        Game tunables.
+    rng:
+        Spawn randomness (defaults to a stream from the board's sim).
+    """
+
+    AIRCRAFT = ">"
+
+    def __init__(
+        self,
+        board: DistScrollBoard,
+        config: Optional[GameConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.board = board
+        self.config = config or GameConfig()
+        self.rng = rng if rng is not None else board.sim.spawn_rng()
+        self.state = GameState()
+
+        height = board.display_top.geometry.height_px
+        width = board.display_top.geometry.width_px
+        self._height = height
+        self._width = width
+        self._altitude_row = height // 2
+        self._altitude_filter = ExponentialMovingAverage(alpha=0.45)
+        #: live objects: list of [col (float), row, kind] where kind is
+        #: "obstacle", "collectible" or "bullet".
+        self._objects: list[list] = []
+        self._scroll_accum = 0.0
+
+        self._wire_buttons()
+        period = 1.0 / self.config.tick_hz
+        self._task = PeriodicTask(board.sim, period, self._tick, phase=period)
+
+    # ------------------------------------------------------------------
+    # controls
+    # ------------------------------------------------------------------
+    def _wire_buttons(self) -> None:
+        buttons = self.board.buttons
+        if "select" in buttons:
+            buttons["select"].on_press = self.fire
+        if "back" in buttons:
+            buttons["back"].on_press = self.speed_up
+        if "aux" in buttons:
+            buttons["aux"].on_press = self.speed_down
+
+    def fire(self) -> None:
+        """Fire a bullet from the aircraft's position."""
+        if self.state.game_over:
+            return
+        self.state.shots_fired += 1
+        self._objects.append(
+            [float(self.config.aircraft_col + 1), self._altitude_row, "bullet"]
+        )
+
+    def speed_up(self) -> None:
+        """Increase the world scroll speed."""
+        self.state.speed_level = min(
+            self.state.speed_level + 1, self.config.max_speed_level
+        )
+
+    def speed_down(self) -> None:
+        """Decrease the world scroll speed."""
+        self.state.speed_level = max(self.state.speed_level - 1, 1)
+
+    # ------------------------------------------------------------------
+    # game loop
+    # ------------------------------------------------------------------
+    @property
+    def altitude_row(self) -> int:
+        """Current aircraft row (0 = top of the display)."""
+        return self._altitude_row
+
+    def _tick(self) -> None:
+        if self.state.game_over:
+            return
+        state = self.state
+        state.ticks += 1
+        now = self.board.sim.now
+        for button in self.board.buttons.values():
+            button.poll(now)
+
+        self._update_altitude(now)
+        self._spawn_objects()
+        self._advance_objects()
+        self._resolve_collisions()
+        self._render()
+
+    def _update_altitude(self, now: float) -> None:
+        code = self.board.adc.sample(now, ADC_CHANNEL_DISTANCE)
+        voltage = code * self.board.adc.params.lsb_volts
+        sensor = self.board.distance_sensor
+        near, far = self.config.range_cm
+        try:
+            distance = sensor.distance_for_voltage(voltage)
+        except ValueError:
+            return  # out of range: hold the last altitude
+        fraction = (distance - near) / (far - near)
+        fraction = float(np.clip(fraction, 0.0, 1.0))
+        # Near the body = low on screen feels natural (pulling down).
+        raw_row = fraction * (self._height - 1)
+        smoothed = self._altitude_filter.update(raw_row)
+        self._altitude_row = int(round(smoothed))
+
+    def _spawn_objects(self) -> None:
+        dt = 1.0 / self.config.tick_hz
+        if self.rng.random() < self.config.obstacle_rate_hz * dt:
+            row = int(self.rng.integers(0, self._height))
+            self._objects.append([float(self._width - 1), row, "obstacle"])
+        if self.rng.random() < self.config.collectible_rate_hz * dt:
+            row = int(self.rng.integers(0, self._height))
+            self._objects.append([float(self._width - 1), row, "collectible"])
+
+    def _advance_objects(self) -> None:
+        dt = 1.0 / self.config.tick_hz
+        world_speed = self.config.base_scroll_cols_s * self.state.speed_level
+        bullet_speed = 60.0
+        survivors = []
+        for obj in self._objects:
+            if obj[2] == "bullet":
+                obj[0] += bullet_speed * dt
+                if obj[0] < self._width:
+                    survivors.append(obj)
+            else:
+                obj[0] -= world_speed * dt
+                if obj[0] >= 0:
+                    survivors.append(obj)
+                elif obj[2] == "obstacle":
+                    self.state.score += 1  # dodged it
+        self._objects = survivors
+
+    def _resolve_collisions(self) -> None:
+        aircraft_col = self.config.aircraft_col
+        aircraft_row = self._altitude_row
+        remaining = []
+        bullets = [o for o in self._objects if o[2] == "bullet"]
+        for obj in self._objects:
+            col, row, kind = obj
+            if kind == "bullet":
+                remaining.append(obj)
+                continue
+            # Bullet hits.
+            hit = False
+            if kind == "obstacle":
+                for bullet in bullets:
+                    if abs(bullet[0] - col) < 2.0 and bullet[1] == row:
+                        hit = True
+                        self.state.obstacles_destroyed += 1
+                        self.state.score += 2
+                        break
+            if hit:
+                continue
+            # Aircraft contact.
+            if int(round(col)) == aircraft_col and abs(row - aircraft_row) <= 1:
+                if kind == "collectible":
+                    self.state.collected += 1
+                    self.state.score += 5
+                else:
+                    self.state.collisions += 1
+                    self.state.score -= 3
+                    if self.state.collisions >= 3:
+                        self.state.game_over = True
+                continue
+            remaining.append(obj)
+        self._objects = remaining
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _render(self) -> None:
+        display = self.board.display_top
+        frame = np.zeros((self._height, self._width), dtype=bool)
+        frame[self._altitude_row, self.config.aircraft_col] = True
+        if self._altitude_row > 0:
+            frame[self._altitude_row - 1, self.config.aircraft_col - 1] = True
+        if self._altitude_row < self._height - 1:
+            frame[self._altitude_row + 1, self.config.aircraft_col - 1] = True
+        for col, row, kind in self._objects:
+            c = int(round(col))
+            if 0 <= c < self._width:
+                frame[row, c] = True
+        # Direct blit: the game owns the panel (no text mode).
+        display.framebuffer[:] = frame
+        display.updates += 1
+        self._render_status()
+
+    def _render_status(self) -> None:
+        bottom = self.board.display_bottom
+        state = self.state
+        bottom.set_line(0, f"score {state.score}")
+        bottom.set_line(1, f"items {state.collected}")
+        bottom.set_line(2, f"hits  {state.collisions}/3")
+        bottom.set_line(3, f"speed {state.speed_level}")
+        bottom.set_line(4, "GAME OVER" if state.game_over else "")
+
+    def stop(self) -> None:
+        """Stop the game loop."""
+        self._task.stop()
+
+
+class ReactivePilot:
+    """A simple closed-loop pilot for the altitude game.
+
+    Plays the way the §5.2 description implies a human would: steer the
+    aircraft away from the nearest threatening obstacle (via the hand
+    model, so all sensor/firmware dynamics apply), shoot when a threat is
+    dead ahead, and cruise back to mid-altitude when the sky is clear.
+
+    Parameters
+    ----------
+    game:
+        The running game.
+    hand:
+        The hand holding the device (shared simulator).
+    rng:
+        Decision noise (shoot-vs-dodge choices).
+    decision_hz:
+        How often the pilot re-plans.
+    """
+
+    def __init__(self, game, hand, rng, decision_hz: float = 3.0) -> None:
+        self.game = game
+        self.hand = hand
+        self.rng = rng
+        self.decisions = 0
+        period = 1.0 / decision_hz
+        self._task = PeriodicTask(
+            game.board.sim, period, self._decide, phase=period
+        )
+
+    def stop(self) -> None:
+        """Stop piloting."""
+        self._task.stop()
+
+    def _decide(self) -> None:
+        game = self.game
+        if game.state.game_over:
+            self._task.stop()
+            return
+        self.decisions += 1
+        near, far = game.config.range_cm
+        threats = [
+            obj
+            for obj in game._objects
+            if obj[2] == "obstacle" and obj[0] > game.config.aircraft_col
+        ]
+        if threats:
+            closest = min(threats, key=lambda o: o[0])
+            if abs(closest[1] - game.altitude_row) <= 2:
+                if self.rng.random() < 0.5:
+                    game.fire()
+                    return
+                dodge = 8 if closest[1] < 20 else -8
+                height = game.board.display_top.geometry.height_px
+                fraction = (game.altitude_row + dodge) / (height - 1)
+                fraction = float(np.clip(fraction, 0.0, 1.0))
+                self.hand.move_to(near + fraction * (far - near), 0.4)
+                return
+        # Clear sky: drift back to mid-altitude.
+        self.hand.move_to((near + far) / 2.0, 0.6)

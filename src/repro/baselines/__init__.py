@@ -1,0 +1,32 @@
+"""Competing scrolling techniques behind one comparison interface."""
+
+from repro.baselines.base import OperatorTimes, ScrollingTechnique, TechniqueTrial
+from repro.baselines.buttons import ButtonScroller
+from repro.baselines.distscroll import DistScrollTechnique
+from repro.baselines.tilt import TiltScroller
+from repro.baselines.touch import TouchScroller
+from repro.baselines.wheel import WheelScroller
+from repro.baselines.yoyo import YoYoScroller
+
+__all__ = [
+    "OperatorTimes",
+    "ScrollingTechnique",
+    "TechniqueTrial",
+    "ButtonScroller",
+    "DistScrollTechnique",
+    "TiltScroller",
+    "TouchScroller",
+    "WheelScroller",
+    "YoYoScroller",
+    "ALL_TECHNIQUES",
+]
+
+#: Factory registry used by the comparison experiments.
+ALL_TECHNIQUES = {
+    "distscroll": DistScrollTechnique,
+    "buttons": ButtonScroller,
+    "tilt": TiltScroller,
+    "wheel": WheelScroller,
+    "yoyo": YoYoScroller,
+    "touch": TouchScroller,
+}

@@ -1,0 +1,139 @@
+"""Common interface for scrolling techniques under comparison.
+
+Open question 1 of the paper (§7): "Is distance-based scrolling faster,
+equal or slower than other scrolling techniques[?]".  To answer it we put
+every technique from the Related Work section behind one interface and
+run identical selection workloads through all of them.
+
+The baselines are modeled at the **operator level** (Keystroke-Level-
+Model style): each technique decomposes a selection into primitive
+operators — key presses, rate-control ramps, wheel detents, flicks —
+with durations and error probabilities from the HCI literature, scaled
+by the same :class:`~repro.interaction.gloves.Glove` modifiers the
+DistScroll user experiences.  DistScroll itself runs its *full* sensor-
+to-firmware closed loop (see :mod:`repro.baselines.distscroll`), so the
+comparison is conservative: the baselines get idealized models, the
+paper's technique has to fight its own noise.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.interaction.gloves import GLOVES, Glove
+
+__all__ = ["OperatorTimes", "TechniqueTrial", "ScrollingTechnique"]
+
+
+@dataclass(frozen=True)
+class OperatorTimes:
+    """Shared primitive-operator durations (seconds), KLM-calibrated.
+
+    All techniques draw from the same constants so differences between
+    techniques come from their *structure*, not from inconsistent motor
+    assumptions.
+    """
+
+    reaction_s: float = 0.26
+    keypress_s: float = 0.20
+    auto_repeat_delay_s: float = 0.50
+    auto_repeat_rate_hz: float = 10.0
+    verify_dwell_s: float = 0.22
+    homing_s: float = 0.40
+
+    def scaled(self, glove: Glove) -> "OperatorTimes":
+        """Operator times with a glove's dexterity penalty applied."""
+        factor = glove.dexterity_time_factor
+        return OperatorTimes(
+            reaction_s=self.reaction_s,
+            keypress_s=self.keypress_s * factor,
+            auto_repeat_delay_s=self.auto_repeat_delay_s,
+            auto_repeat_rate_hz=self.auto_repeat_rate_hz,
+            verify_dwell_s=self.verify_dwell_s,
+            homing_s=self.homing_s * factor,
+        )
+
+
+@dataclass
+class TechniqueTrial:
+    """Outcome of one selection through a technique.
+
+    Attributes
+    ----------
+    duration_s:
+        Total task time from go-signal to correct activation.
+    errors:
+        Wrong activations / overshoot selections along the way.
+    operations:
+        Count of primitive operator invocations (presses, flicks, ...).
+    index_of_difficulty:
+        The task's Fitts ID in the technique's own control space, for
+        the EXT-SPEED regression (0 when not meaningful).
+    """
+
+    duration_s: float
+    errors: int = 0
+    operations: int = 0
+    index_of_difficulty: float = 0.0
+
+
+@dataclass
+class ScrollingTechnique(abc.ABC):
+    """Abstract base: one way of scrolling a list and selecting an entry.
+
+    Subclasses implement :meth:`select`; class attributes describe the
+    qualitative properties the paper's comparison table discusses.
+    """
+
+    rng: np.random.Generator
+    glove: Glove = field(default_factory=lambda: GLOVES["none"])
+    times: OperatorTimes = field(default_factory=OperatorTimes)
+
+    #: Human-readable technique name.
+    name: str = "abstract"
+    #: Whether one hand suffices (the paper's core requirement).
+    one_handed: bool = True
+    #: Whether the technique stays usable with thick gloves.
+    glove_compatible: bool = True
+    #: Whether the technique needs mechanical moving parts (a liability in
+    #: hazardous-fluid environments, per the paper's critique of the YoYo).
+    mechanical_parts: bool = False
+    #: Whether the technique is attached to garment/body.
+    body_attached: bool = False
+
+    def __post_init__(self) -> None:
+        self._scaled_times = self.times.scaled(self.glove)
+
+    @property
+    def t(self) -> OperatorTimes:
+        """Glove-scaled operator times."""
+        return self._scaled_times
+
+    @abc.abstractmethod
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Scroll from ``start_index`` to ``target_index`` and activate it."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _lognormal(self, mean_s: float, spread: float = 0.12) -> float:
+        return float(mean_s * self.rng.lognormal(0.0, spread))
+
+    def _press(self, trial: TechniqueTrial, miss_area_mm2: float = 40.0) -> float:
+        """One button press; returns its duration, retrying glove misses."""
+        duration = self._lognormal(self.t.keypress_s)
+        trial.operations += 1
+        miss_p = self.glove.effective_miss_probability(miss_area_mm2)
+        while self.rng.random() < miss_p:
+            duration += self._lognormal(self.t.keypress_s)
+            trial.operations += 1
+        return duration
+
+    def _confirm_selection(self, trial: TechniqueTrial) -> float:
+        """Verify dwell plus the activating press."""
+        return self._lognormal(self.t.verify_dwell_s, 0.2) + self._press(trial)

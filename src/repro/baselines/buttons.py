@@ -1,0 +1,87 @@
+"""Up/down button scrolling — the mainstream phone-keypad baseline.
+
+The standard technique on 2005-era mobile phones: discrete up/down keys
+with auto-repeat after a hold delay.  Time grows *linearly* with scroll
+distance (one press or repeat step per entry), which is exactly the
+regime distance-based scrolling is supposed to beat for far targets: the
+DistScroll jumps anywhere in the range in one Fitts-law reach.
+
+Auto-repeat introduces an overshoot hazard: releasing the key at 10
+repeats/s carries a timing uncertainty of roughly one repeat period, so
+long repeats may overrun the target and need corrective single presses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.interaction.fitts import index_of_difficulty
+
+__all__ = ["ButtonScroller"]
+
+
+@dataclass
+class ButtonScroller(ScrollingTechnique):
+    """Discrete up/down keys with auto-repeat.
+
+    Parameters
+    ----------
+    repeat_threshold:
+        Scroll distances up to this use individual presses; longer
+        distances hold the key and auto-repeat.
+    """
+
+    name: str = "buttons"
+    one_handed: bool = True
+    glove_compatible: bool = False  # small keys; thick gloves mis-press
+    repeat_threshold: int = 4
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Scroll press-by-press (or via auto-repeat) and select."""
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        trial = TechniqueTrial(duration_s=0.0)
+        trial.index_of_difficulty = index_of_difficulty(
+            max(abs(target_index - start_index), 1e-6) + 1e-9, 1.0
+        )
+        duration = self._lognormal(self.t.reaction_s)
+        position = start_index
+        remaining = target_index - position
+        while remaining != 0:
+            steps = abs(remaining)
+            if steps <= self.repeat_threshold:
+                for _ in range(steps):
+                    duration += self._press(trial)
+                position = target_index
+            else:
+                duration += self._auto_repeat_burst(trial, steps)
+                overshoot = self._overshoot(steps)
+                position = target_index + overshoot * (1 if remaining > 0 else -1)
+                position = max(0, min(position, n_entries - 1))
+                if position != target_index:
+                    trial.errors += 1
+                    duration += self._lognormal(self.t.reaction_s)
+            remaining = target_index - position
+        duration += self._confirm_selection(trial)
+        trial.duration_s = duration
+        return trial
+
+    def _auto_repeat_burst(self, trial: TechniqueTrial, steps: int) -> float:
+        """Hold the key until roughly ``steps`` entries scrolled by."""
+        trial.operations += 1
+        hold = (
+            self._lognormal(self.t.keypress_s)
+            + self.t.auto_repeat_delay_s
+            + (steps - 1) / self.t.auto_repeat_rate_hz
+        )
+        return hold
+
+    def _overshoot(self, steps: int) -> int:
+        """Entries overrun when releasing from auto-repeat."""
+        # Release timing uncertainty of ~±1 repeat period.
+        sigma = 1.1
+        overshoot = abs(self.rng.normal(0.0, sigma))
+        return int(overshoot)

@@ -1,0 +1,117 @@
+"""DistScroll presented through the common technique interface.
+
+Unlike the operator-level baselines, this adapter runs the *entire*
+reproduction stack per trial: GP2D120 physics → ADC → firmware island
+mapping → display → a closed-loop simulated user moving a tremor-bearing
+hand.  If DistScroll wins a comparison here, it wins against idealized
+competitors while carrying its own sensor noise — the conservative
+direction for a reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.interaction.fitts import index_of_difficulty
+from repro.interaction.user import MotorProfile, SimulatedUser
+
+__all__ = ["DistScrollTechnique"]
+
+
+@dataclass
+class DistScrollTechnique(ScrollingTechnique):
+    """Full-stack DistScroll selection trials.
+
+    Parameters
+    ----------
+    config:
+        Device configuration under test (range, polarity, chunking...).
+    profile:
+        Motor profile; defaults to the same KLM constants the baselines
+        use so the comparison is apples-to-apples.
+    """
+
+    name: str = "distscroll"
+    one_handed: bool = True
+    glove_compatible: bool = True
+    config: DeviceConfig = field(default_factory=DeviceConfig)
+    profile: Optional[MotorProfile] = None
+    _device: Optional[DistScroll] = field(default=None, init=False, repr=False)
+    _user: Optional[SimulatedUser] = field(default=None, init=False, repr=False)
+    _n_entries: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.profile is None:
+            self.profile = MotorProfile(
+                reaction_time_s=self.times.reaction_s,
+                verify_dwell_s=self.times.verify_dwell_s,
+                button_press_s=self.times.keypress_s,
+            )
+
+    def _ensure_device(self, n_entries: int) -> None:
+        if self._device is not None and self._n_entries == n_entries:
+            return
+        labels = [f"Entry {i:02d}" for i in range(n_entries)]
+        seed = int(self.rng.integers(2**31))
+        # A flat list: the root's children *are* the entries.
+        self._device = DistScroll(
+            build_menu(labels),
+            config=self.config,
+            seed=seed,
+        )
+        self._user = SimulatedUser(
+            device=self._device, rng=self.rng, profile=self.profile, glove=self.glove
+        )
+        # The user already knows the technique in comparison studies.
+        self._user.practice_trials = 50
+        self._n_entries = n_entries
+        self._device.run_for(0.5)
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Run one full closed-loop selection on the simulated device."""
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        self._ensure_device(n_entries)
+        device, user = self._device, self._user
+        assert device is not None and user is not None
+
+        # Park the hand (and firmware highlight) on the start entry.
+        self._park_at(start_index)
+        result = user.select_entry(target_index)
+        # Leave any submenu the activation entered (flat lists are leaves,
+        # so normally a no-op).
+        while device.depth > 0:
+            device.click("back")
+
+        trial = TechniqueTrial(
+            duration_s=result.duration_s,
+            errors=result.wrong_activations,
+            operations=result.submovements + result.button_misses,
+        )
+        if result.target_width_cm > 0:
+            trial.index_of_difficulty = index_of_difficulty(
+                max(result.movement_distance_cm, 1e-6) + 1e-9,
+                result.target_width_cm,
+            )
+        return trial
+
+    def _park_at(self, index: int) -> None:
+        device, user = self._device, self._user
+        assert device is not None and user is not None
+        firmware = device.firmware
+        chunk = firmware.chunk_of_index(index)
+        guard = 0
+        while firmware.chunk != chunk and guard < 2 * firmware.n_chunks:
+            device.click("aux")
+            guard += 1
+        aim = firmware.aim_distance_for_index(index)
+        user.hand.move_to(aim, 0.4)
+        device.run_for(0.6)

@@ -1,0 +1,83 @@
+"""Tilt-based rate-control scrolling (Rock'n'Scroll / TiltText family).
+
+Related-work techniques ([2], [11], [17]) scroll by tilting the device:
+the tilt angle sets a scroll *velocity* (rate control).  The paper's
+critiques — "by tilting the device the user also changes the viewing
+angle on the display significantly" and "using this input method for a
+longer period of time is fatiguing" — show up in the model as a
+readability penalty at high tilt and a velocity cap.
+
+Rate control has well-known dynamics: a ramp-up to cruise velocity, a
+braking phase, and a stopping error proportional to the approach speed,
+which forces a slow final approach (the reason first-order control loses
+to position control for short, precise movements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.interaction.fitts import index_of_difficulty
+
+__all__ = ["TiltScroller"]
+
+
+@dataclass
+class TiltScroller(ScrollingTechnique):
+    """First-order (rate-control) tilt scrolling.
+
+    Parameters
+    ----------
+    max_rate_entries_s:
+        Cruise scroll velocity at full comfortable tilt.
+    ramp_time_s:
+        Time to tilt from neutral to cruise (and back).
+    stop_sigma_entries_per_rate:
+        Stopping error std per entries/s of approach velocity.
+    """
+
+    name: str = "tilt"
+    one_handed: bool = True
+    glove_compatible: bool = True  # wrist motion, no fine touch needed
+    max_rate_entries_s: float = 7.0
+    ramp_time_s: float = 0.30
+    stop_sigma_entries_per_rate: float = 0.16
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Tilt toward the target, brake, correct, select."""
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        trial = TechniqueTrial(duration_s=0.0)
+        trial.index_of_difficulty = index_of_difficulty(
+            max(abs(target_index - start_index), 1e-6) + 1e-9, 1.0
+        )
+        duration = self._lognormal(self.t.reaction_s)
+        position = float(start_index)
+        # Wrist load: each correction pass is a new tilt gesture.
+        passes = 0
+        while round(position) != target_index:
+            passes += 1
+            distance = abs(target_index - position)
+            # Choose an approach speed: full rate for far targets, slow
+            # creep for the final entries.
+            rate = min(self.max_rate_entries_s, max(distance * 1.6, 1.2))
+            travel_time = 2 * self.ramp_time_s + distance / rate
+            duration += self._lognormal(travel_time, 0.10)
+            trial.operations += 1
+            sigma = self.stop_sigma_entries_per_rate * rate
+            landing = target_index + self.rng.normal(0.0, sigma)
+            position = max(0.0, min(landing, float(n_entries - 1)))
+            if round(position) != target_index:
+                trial.errors += 1
+                duration += self._lognormal(self.t.reaction_s)
+            if passes > 20:
+                position = float(target_index)  # give up creeping entry-wise
+                duration += self._lognormal(self.t.keypress_s) * distance
+        # Reading the display at an angle costs an extra beat.
+        duration += self._lognormal(0.12, 0.3)
+        duration += self._confirm_selection(trial)
+        trial.duration_s = duration
+        return trial

@@ -1,0 +1,77 @@
+"""Rotary/jog-wheel scrolling (TUISTER-style tangible UI).
+
+The TUISTER [3] lets the user "turn part of a device thus exploring one
+level of a menu structure", with the second part turned by *the other
+hand* — the paper's main criticism: "for many application areas one
+limitation is that both hands have to be used", plus the difficulty of
+serving left- and right-handed users with one mechanical design.
+
+The model: scrolling advances one entry per wheel detent; the fingers
+can rotate only so far before re-grasping (clutching), and every detent
+is a fine-motor act that thick gloves slow dramatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.interaction.fitts import index_of_difficulty
+
+__all__ = ["WheelScroller"]
+
+
+@dataclass
+class WheelScroller(ScrollingTechnique):
+    """Detent-per-entry rotary scrolling with clutching.
+
+    Parameters
+    ----------
+    detent_time_s:
+        Time per detent while turning continuously.
+    detents_per_grasp:
+        Detents reachable before the fingers must re-grasp.
+    clutch_time_s:
+        Re-grasp duration.
+    """
+
+    name: str = "wheel"
+    one_handed: bool = False  # the TUISTER needs the second hand
+    glove_compatible: bool = False  # fine finger rotation
+    mechanical_parts: bool = True
+    detent_time_s: float = 0.07
+    detents_per_grasp: int = 8
+    clutch_time_s: float = 0.35
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Turn the wheel detent by detent (clutching as needed), select."""
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        trial = TechniqueTrial(duration_s=0.0)
+        steps = abs(target_index - start_index)
+        trial.index_of_difficulty = index_of_difficulty(max(steps, 1e-6) + 1e-9, 1.0)
+        # Both hands must find the device: homing cost.
+        duration = self._lognormal(self.t.reaction_s) + self._lognormal(
+            self.t.homing_s
+        )
+        detent = self.detent_time_s * self.glove.dexterity_time_factor
+        remaining = steps
+        while remaining > 0:
+            burst = min(remaining, self.detents_per_grasp)
+            duration += self._lognormal(burst * detent, 0.10)
+            trial.operations += burst
+            remaining -= burst
+            # Glove slip: a detent may skip, requiring a correction turn.
+            slip_p = self.glove.effective_miss_probability(25.0) * 0.5
+            if self.rng.random() < slip_p:
+                trial.errors += 1
+                remaining += 1
+            if remaining > 0:
+                duration += self._lognormal(
+                    self.clutch_time_s * self.glove.dexterity_time_factor, 0.15
+                )
+        duration += self._confirm_selection(trial)
+        trial.duration_s = duration
+        return trial

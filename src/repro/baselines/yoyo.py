@@ -1,0 +1,98 @@
+"""Rantanen's YoYo interface — the paper's closest conceptual ancestor.
+
+The YoYo [9] is "attached to the garment.  It can be pulled with one hand
+and retracts automatically using a spring.  By pulling, a wheel is turned
+and this is translated as an input parameter."  Like DistScroll it maps a
+*pull distance* to a position (position control, so Fitts-law pointing),
+and it was explicitly designed for thick arctic gloves.
+
+DistScroll's claimed advantages are structural, and the model carries
+them: the YoYo's mechanical parts can jam ("fluids penetrating the case"),
+the spring adds load, it is attached to specific clothing (donning cost
+per session, not modeled per-trial), and selection is done by *pressing
+the device itself*, which can yank the pull distance off target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.interaction.fitts import index_of_difficulty, movement_time
+
+__all__ = ["YoYoScroller"]
+
+
+@dataclass
+class YoYoScroller(ScrollingTechnique):
+    """Pull-string position-control scrolling.
+
+    Parameters
+    ----------
+    pull_range_cm:
+        Usable cord travel mapped over the list.
+    fitts_a, fitts_b:
+        Pointing parameters for the pulling arm (slightly worse than a
+        free reach: the spring loads the movement).
+    press_disturbance_cm:
+        How far pressing-to-select tugs the cord off its position.
+    jam_probability:
+        Per-trial chance the mechanism sticks and needs a second pull.
+    """
+
+    name: str = "yoyo"
+    one_handed: bool = True
+    glove_compatible: bool = True
+    mechanical_parts: bool = True
+    body_attached: bool = True
+    pull_range_cm: float = 25.0
+    fitts_a: float = 0.14
+    fitts_b: float = 0.17
+    press_disturbance_cm: float = 0.35
+    jam_probability: float = 0.02
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Pull the cord to the target's position and press to select."""
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        trial = TechniqueTrial(duration_s=0.0)
+        slot_cm = self.pull_range_cm / n_entries
+        distance_cm = abs(target_index - start_index) * slot_cm
+        width_cm = max(slot_cm * 0.8, 0.15)
+        trial.index_of_difficulty = index_of_difficulty(
+            max(distance_cm, 1e-6) + 1e-9, width_cm
+        )
+        duration = self._lognormal(self.t.reaction_s)
+        position_cm = start_index * slot_cm
+        target_cm = target_index * slot_cm
+
+        for _ in range(12):
+            move = abs(target_cm - position_cm)
+            if move < 0.01:
+                move = 0.01
+            mt = movement_time(self.fitts_a, self.fitts_b, move, width_cm)
+            mt *= self.glove.movement_time_factor
+            duration += self._lognormal(max(mt, 0.12), 0.10)
+            trial.operations += 1
+            sigma = width_cm * 0.27
+            position_cm = target_cm + self.rng.normal(0.0, sigma)
+            if self.rng.random() < self.jam_probability:
+                trial.errors += 1
+                duration += self._lognormal(0.6, 0.3)
+                continue
+            landed = int(round(position_cm / slot_cm))
+            if landed == target_index:
+                break
+            trial.errors += 0  # off-by-one pulls are corrections, not errors
+            duration += self._lognormal(self.t.reaction_s)
+        # Selection by pressing the device can tug the cord: with some
+        # probability the press lands one entry off.
+        duration += self._confirm_selection(trial)
+        tug = abs(self.rng.normal(0.0, self.press_disturbance_cm))
+        if tug > slot_cm / 2.0:
+            trial.errors += 1
+            duration += self._lognormal(self.t.reaction_s) + self._press(trial)
+        trial.duration_s = duration
+        return trial

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction a front door that does not require writing
+Python: list and run experiments, print a quick interactive demo of the
+device, or dump the sensor calibration.
+
+Commands
+--------
+``experiments``            list all experiment ids
+``run <id> [--seed N] [--csv PATH]``
+                           run one experiment and print its table
+``calibrate [--seed N]``   print the Figure-4 sweep for one specimen
+``demo [--seed N]``        scripted device walk-through on the phone menu
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.experiments import (
+    ExperimentResult,
+    run_ablation_mapping,
+    run_breadth,
+    run_calibration_ablation,
+    run_direction,
+    run_distance_profile,
+    run_fig4,
+    run_fig5,
+    run_firmware_ablation,
+    run_foldback,
+    run_fusion,
+    run_gloves_bench,
+    run_island_mapping,
+    run_layouts,
+    run_long_menus,
+    run_pda,
+    run_power,
+    run_range_sweep,
+    run_sensor_env,
+    run_speed_comparison,
+    run_stocktaking_by_glove,
+    run_user_study,
+)
+
+__all__ = ["main", "EXPERIMENT_RUNNERS"]
+
+#: Registry: experiment id -> zero-config runner returning a result.
+EXPERIMENT_RUNNERS: dict[str, Callable[[int], ExperimentResult]] = {
+    "FIG4": lambda seed: run_fig4(seed=seed)[0],
+    "FIG5": lambda seed: run_fig5(seed=seed),
+    "SENS-ENV": lambda seed: run_sensor_env(seed=seed, readings_per_point=8),
+    "SENS-FOLD": lambda seed: run_foldback(seed=seed),
+    "MAP-ISL": lambda seed: run_island_mapping(seed=seed),
+    "STUDY1": lambda seed: run_user_study(
+        seed=seed, n_users=8, n_blocks=3, trials_per_block=6
+    ),
+    "EXT-SPEED": lambda seed: run_speed_comparison(seed=seed)[0],
+    "EXT-SPEED-PROFILE": lambda seed: run_distance_profile(seed=seed),
+    "EXT-RANGE": lambda seed: run_range_sweep(
+        seed=seed, n_trials=6, n_users=2
+    ),
+    "EXT-LONG": lambda seed: run_long_menus(
+        seed=seed, menu_lengths=(10, 20, 40), n_trials=5, n_users=2
+    ),
+    "EXT-DIR": lambda seed: run_direction(seed=seed, n_users=8, n_trials=8),
+    "EXT-FUSION": lambda seed: run_fusion(seed=seed),
+    "EXT-PDA": lambda seed: run_pda(seed=seed, n_trials=6, n_users=2),
+    "ABL-MAP": lambda seed: run_ablation_mapping(
+        seed=seed, n_trials=5, n_users=2
+    ),
+    "ABL-GLOVE": lambda seed: run_gloves_bench(seed=seed, n_trials=6),
+    "ABL-FW": lambda seed: run_firmware_ablation(seed=seed),
+    "ABL-GLOVE-STOCK": lambda seed: run_stocktaking_by_glove(
+        seed=seed, n_items=3
+    ),
+    "ABL-LAYOUT": lambda seed: run_layouts(seed=seed, n_users=5, n_trials=4),
+    "ABL-CAL": lambda seed: run_calibration_ablation(
+        seed=seed, n_specimens=3, n_trials=5
+    ),
+    "EXT-POWER": lambda seed: run_power(seed=seed, window_s=45.0),
+    "EXT-BREADTH": lambda seed: run_breadth(seed=seed, n_tasks=4, n_users=2),
+}
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    for experiment_id in EXPERIMENT_RUNNERS:
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = EXPERIMENT_RUNNERS.get(args.experiment_id.upper())
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment_id!r}; "
+            "see `python -m repro experiments`",
+            file=sys.stderr,
+        )
+        return 2
+    result = runner(args.seed)
+    print(result.table())
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    result, calibration = run_fig4(seed=args.seed)
+    print(result.table())
+    fit = calibration.hyperbola
+    print(
+        f"\nspecimen curve: V = {fit.a:.3f}/(d + {fit.b:.3f}) + {fit.c:.4f}"
+    )
+    return 0
+
+
+def _cmd_islands(args: argparse.Namespace) -> int:
+    from repro.core.islands import Placement, build_island_map
+    from repro.hardware.adc import ADC
+    from repro.sensors.gp2d120 import GP2D120
+
+    placement = Placement(args.placement)
+    island_map = build_island_map(
+        GP2D120(rng=None),
+        ADC(rng=None),
+        args.entries,
+        range_cm=(args.near, args.far),
+        island_fill=args.fill,
+        placement=placement,
+    )
+    print(
+        f"island map: {args.entries} entries over {args.near}-{args.far} cm, "
+        f"fill {args.fill}, placement {placement.value}"
+    )
+    print(f"{'slot':>4} {'center_cm':>10} {'codes':>13} {'width':>6}")
+    for slot in range(island_map.n_slots):
+        island = island_map.island_for_slot(slot)
+        print(
+            f"{slot:>4} {island.center_distance_cm:>10.2f} "
+            f"[{island.code_low:>4},{island.code_high:>4}] "
+            f"{island.width_codes:>6}"
+        )
+    print(f"coverage: {island_map.coverage_fraction():.3f}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.apps.phonemenu import PhoneApp
+
+    app = PhoneApp.create(seed=args.seed)
+    device = app.device
+    firmware = device.firmware
+    print("DistScroll demo on the fictive phone menu (§6)\n")
+    n_top = len(firmware.cursor.entries)
+    for index in (0, n_top // 3, 2 * n_top // 3, n_top - 1):
+        distance = firmware.aim_distance_for_index(index)
+        device.hold_at(distance)
+        device.run_for(0.5)
+        print(f"  {distance:5.1f} cm -> {device.highlighted_label}")
+    device.hold_at(firmware.aim_distance_for_index(0))
+    device.run_for(0.5)
+    device.click("select")
+    print(f"\n  select -> entered {device.firmware.cursor.breadcrumb}")
+    print("  top display:")
+    for line in device.visible_menu():
+        print(f"    |{line:<17}|")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DistScroll reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "experiments", help="list experiment ids"
+    ).set_defaults(func=_cmd_experiments)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--csv", default=None, help="also write CSV here")
+    run_parser.set_defaults(func=_cmd_run)
+
+    calibrate_parser = sub.add_parser(
+        "calibrate", help="print the Figure-4 sensor sweep"
+    )
+    calibrate_parser.add_argument("--seed", type=int, default=0)
+    calibrate_parser.set_defaults(func=_cmd_calibrate)
+
+    demo_parser = sub.add_parser("demo", help="scripted device walk-through")
+    demo_parser.add_argument("--seed", type=int, default=0)
+    demo_parser.set_defaults(func=_cmd_demo)
+
+    islands_parser = sub.add_parser(
+        "islands", help="print the island table for a configuration"
+    )
+    islands_parser.add_argument("--entries", type=int, default=10)
+    islands_parser.add_argument("--near", type=float, default=5.0)
+    islands_parser.add_argument("--far", type=float, default=28.0)
+    islands_parser.add_argument("--fill", type=float, default=0.62)
+    islands_parser.add_argument(
+        "--placement",
+        default="equal-distance",
+        choices=[p.value for p in __import__(
+            "repro.core.islands", fromlist=["Placement"]
+        ).Placement],
+    )
+    islands_parser.set_defaults(func=_cmd_islands)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Device configuration: ranges, polarities, timing, policies.
+
+Collects every tunable the paper discusses — the 4–30 cm scroll range
+question, the scroll-direction question ("is it more intuitive to move the
+DistScroll towards oneself to scroll down or to scroll up"), long-menu
+chunking, and the fast-scroll exploit of the fold-back region — into one
+validated dataclass the experiments sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.core.islands import Placement
+
+__all__ = ["ScrollDirection", "DeviceConfig"]
+
+
+class ScrollDirection(Enum):
+    """Mapping polarity between hand motion and list motion (§7)."""
+
+    #: Moving the device towards the body scrolls *down* the list.
+    TOWARDS_SCROLLS_DOWN = "towards-down"
+    #: Moving the device towards the body scrolls *up* the list.
+    TOWARDS_SCROLLS_UP = "towards-up"
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Complete configuration of a DistScroll device.
+
+    Attributes
+    ----------
+    range_cm:
+        Usable (near, far) scroll range; the paper predicts "about 4 to
+        30 cm" and asks whether that is appropriate (§7 Q2) — defaults
+        keep a noise margin inside it.
+    direction:
+        Scroll polarity (§7 Q5).
+    island_fill:
+        Fraction of each entry's distance slice covered by its island.
+    placement:
+        Island placement strategy (the paper's equal-distance by default;
+        alternatives exist for ablations).
+    firmware_hz:
+        Main firmware loop rate.  The GP2D120 only refreshes every ~38 ms,
+        so 50 Hz polling loses nothing while keeping button latency low.
+    smoothing_window:
+        Median filter window on raw ADC codes (spike suppression).
+    confirm_samples:
+        A new island must be seen this many consecutive ticks before the
+        highlight moves — kills boundary flicker without adding gaps.
+    chunk_size:
+        Maximum entries mapped onto the range at once; longer levels are
+        presented in chunks/pages (§7 Q4).  ``0`` disables chunking.
+    long_menu_mode:
+        How long levels are presented: ``"chunked"`` pages with the aux
+        button; ``"sdaz"`` uses speed-dependent automatic zooming (the
+        §7 Q4 suggestion) with dwell-to-zoom and edge-hold panning.
+    fast_scroll_enabled:
+        Whether the firmware exposes the fold-back (<4 cm) region as a
+        fast-scroll gesture for advanced users (§4.2).
+    dual_sensor:
+        Use the second (recessed) distance sensor to disambiguate the
+        fold-back region instead of the heuristic latch — the natural
+        use of the board's spare sensor slot (§4).
+    factory_calibrated:
+        Whether the island table is computed from this specimen's own
+        measured curve (per-unit calibration, as the authors did by
+        verifying their sensor against the datasheet) or from the
+        generic datasheet curve.  ``False`` quantifies how much
+        unit-to-unit sensor variation costs (ABL-CAL).
+    fast_scroll_rate_hz:
+        Entries per second skipped while fast-scrolling.
+    display_refresh_hz:
+        How often the displays are redrawn when state changed.
+    debug_display:
+        Whether the bottom display shows debug/state information (as in
+        the initial study) instead of application content.
+    """
+
+    range_cm: tuple[float, float] = (5.0, 28.0)
+    direction: ScrollDirection = ScrollDirection.TOWARDS_SCROLLS_DOWN
+    island_fill: float = 0.62
+    placement: Placement = Placement.EQUAL_DISTANCE
+    firmware_hz: float = 50.0
+    smoothing_window: int = 3
+    confirm_samples: int = 2
+    chunk_size: int = 10
+    long_menu_mode: str = "chunked"
+    fast_scroll_enabled: bool = True
+    fast_scroll_rate_hz: float = 12.0
+    dual_sensor: bool = False
+    factory_calibrated: bool = True
+    display_refresh_hz: float = 20.0
+    debug_display: bool = True
+
+    def __post_init__(self) -> None:
+        near, far = self.range_cm
+        if not 0 < near < far:
+            raise ValueError(f"invalid range_cm {self.range_cm}")
+        if far > 30.0 + 1e-9:
+            raise ValueError(
+                f"far bound {far} cm exceeds the sensor's 30 cm reach"
+            )
+        if not 0.0 < self.island_fill <= 1.0:
+            raise ValueError(f"island_fill must be in (0,1]: {self.island_fill}")
+        if self.firmware_hz <= 0 or self.display_refresh_hz <= 0:
+            raise ValueError("loop rates must be positive")
+        if self.smoothing_window < 1:
+            raise ValueError("smoothing_window must be >= 1")
+        if self.confirm_samples < 1:
+            raise ValueError("confirm_samples must be >= 1")
+        if self.chunk_size < 0:
+            raise ValueError("chunk_size must be >= 0")
+        if self.long_menu_mode not in ("chunked", "sdaz"):
+            raise ValueError(
+                f"long_menu_mode must be 'chunked' or 'sdaz', "
+                f"got {self.long_menu_mode!r}"
+            )
+        if self.fast_scroll_rate_hz <= 0:
+            raise ValueError("fast_scroll_rate_hz must be positive")
+
+    @property
+    def span_cm(self) -> float:
+        """Length of the usable scroll range."""
+        return self.range_cm[1] - self.range_cm[0]
+
+    @property
+    def firmware_period_s(self) -> float:
+        """Seconds per firmware tick."""
+        return 1.0 / self.firmware_hz
+
+    def with_(self, **changes) -> "DeviceConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

@@ -1,0 +1,233 @@
+"""Hierarchical menu data structures navigated by the DistScroll.
+
+The paper's central use case is "navigating data structures or browsing
+menus": a tree of entries where the distance sensor drives the highlight
+within one level, the select button descends into submenus (or activates a
+leaf), and the back button ascends (Section 5.1; the initial study
+"simulated a fictive mobile phone menu").
+
+:class:`MenuEntry` is an immutable tree node; :class:`MenuCursor` is the
+mutable navigation state the firmware owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+__all__ = ["MenuEntry", "MenuCursor", "build_menu", "flatten_paths"]
+
+
+@dataclass(frozen=True)
+class MenuEntry:
+    """One node of a menu tree.
+
+    Attributes
+    ----------
+    label:
+        Text shown on the display (truncated to the panel width there).
+    children:
+        Sub-entries; empty for leaves.
+    action:
+        Optional identifier reported when a leaf is activated.
+    """
+
+    label: str
+    children: tuple["MenuEntry", ...] = ()
+    action: Optional[str] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this entry has no sub-menu."""
+        return not self.children
+
+    def child(self, label: str) -> "MenuEntry":
+        """Find a direct child by label.
+
+        Raises
+        ------
+        KeyError
+            If no child carries the label.
+        """
+        for entry in self.children:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"{self.label!r} has no child {label!r}")
+
+    def walk(self) -> Iterator["MenuEntry"]:
+        """Depth-first iteration over this node and all descendants."""
+        yield self
+        for entry in self.children:
+            yield from entry.walk()
+
+    def count_entries(self) -> int:
+        """Total number of nodes in the subtree (including this one)."""
+        return sum(1 for _ in self.walk())
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (a lone leaf has depth 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.max_depth() for child in self.children)
+
+    def max_fanout(self) -> int:
+        """Largest number of siblings at any level of the subtree."""
+        fanout = len(self.children)
+        for child in self.children:
+            fanout = max(fanout, child.max_fanout())
+        return fanout
+
+
+def build_menu(spec: dict | list | tuple, label: str = "root") -> MenuEntry:
+    """Build a menu tree from nested dicts/lists.
+
+    ``{"Messages": ["Inbox", "Outbox"], "Settings": {"Sound": [...]}}``
+    becomes a two-level tree.  Strings become leaves whose ``action`` is
+    the lower-cased label.
+
+    Example
+    -------
+    >>> menu = build_menu({"A": ["x", "y"], "B": []})
+    >>> [e.label for e in menu.children]
+    ['A', 'B']
+    """
+    if isinstance(spec, dict):
+        children = tuple(build_menu(sub, label=name) for name, sub in spec.items())
+        return MenuEntry(label=label, children=children)
+    if isinstance(spec, (list, tuple)):
+        children = []
+        for item in spec:
+            if isinstance(item, str):
+                children.append(
+                    MenuEntry(label=item, action=item.lower().replace(" ", "_"))
+                )
+            elif isinstance(item, MenuEntry):
+                children.append(item)
+            else:
+                children.append(build_menu(item, label="?"))
+        return MenuEntry(label=label, children=tuple(children))
+    raise TypeError(f"cannot build a menu from {type(spec).__name__}")
+
+
+def flatten_paths(root: MenuEntry) -> list[tuple[str, ...]]:
+    """All root-to-leaf label paths — the task pool for selection studies."""
+    paths: list[tuple[str, ...]] = []
+
+    def descend(entry: MenuEntry, prefix: tuple[str, ...]) -> None:
+        if entry.is_leaf:
+            paths.append(prefix + (entry.label,))
+            return
+        for child in entry.children:
+            descend(child, prefix + (entry.label,))
+
+    for child in root.children:
+        descend(child, ())
+    return paths
+
+
+@dataclass
+class MenuCursor:
+    """Mutable navigation state over a menu tree.
+
+    The cursor tracks the path of entered submenus and the highlighted
+    index within the current level.  The firmware moves the highlight from
+    the distance sensor and calls :meth:`select` / :meth:`back` from the
+    buttons.
+
+    Attributes
+    ----------
+    root:
+        The tree being navigated.
+    on_activate:
+        Callback invoked with the activated leaf when select is pressed on
+        a leaf entry.
+    """
+
+    root: MenuEntry
+    on_activate: Optional[Callable[[MenuEntry], None]] = None
+    _path: list[MenuEntry] = field(default_factory=list, init=False)
+    _highlight: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.root.is_leaf:
+            raise ValueError("menu root must have at least one child")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_level(self) -> MenuEntry:
+        """The entry whose children are currently listed."""
+        return self._path[-1] if self._path else self.root
+
+    @property
+    def entries(self) -> tuple[MenuEntry, ...]:
+        """Entries of the current level."""
+        return self.current_level.children
+
+    @property
+    def highlight(self) -> int:
+        """Index of the highlighted entry within the current level."""
+        return self._highlight
+
+    @property
+    def highlighted_entry(self) -> MenuEntry:
+        """The highlighted entry object."""
+        return self.entries[self._highlight]
+
+    @property
+    def depth(self) -> int:
+        """How many submenus have been entered (0 at the root level)."""
+        return len(self._path)
+
+    @property
+    def breadcrumb(self) -> tuple[str, ...]:
+        """Labels of the entered submenus."""
+        return tuple(entry.label for entry in self._path)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_highlight(self, index: int) -> bool:
+        """Move the highlight; out-of-range values clamp.
+
+        Returns ``True`` if the highlight actually changed.
+        """
+        clamped = max(0, min(int(index), len(self.entries) - 1))
+        changed = clamped != self._highlight
+        self._highlight = clamped
+        return changed
+
+    def select(self) -> Optional[MenuEntry]:
+        """Activate the highlighted entry.
+
+        Entering a submenu returns ``None``; activating a leaf returns the
+        leaf (and fires ``on_activate``).
+        """
+        entry = self.highlighted_entry
+        if entry.is_leaf:
+            if self.on_activate is not None:
+                self.on_activate(entry)
+            return entry
+        self._path.append(entry)
+        self._highlight = 0
+        return None
+
+    def back(self) -> bool:
+        """Leave the current submenu; returns ``False`` at the root."""
+        if not self._path:
+            return False
+        left = self._path.pop()
+        # Restore the highlight onto the submenu we just left.
+        for i, entry in enumerate(self.entries):
+            if entry is left:
+                self._highlight = i
+                break
+        else:
+            self._highlight = 0
+        return True
+
+    def reset(self) -> None:
+        """Return to the root level with the first entry highlighted."""
+        self._path.clear()
+        self._highlight = 0

@@ -1,0 +1,118 @@
+"""EXT-BREADTH — menu breadth vs. depth under distance scrolling.
+
+A designer building for the DistScroll must pick a hierarchy shape: wide
+levels exploit the sensor's full range but shrink the islands; deep
+trees keep islands fat but multiply select/back presses.  Classic
+menu-design results (Miller's breadth-vs-depth studies) say breadth wins
+on screens — does it still, when the *input* channel punishes breadth?
+
+Protocol: hierarchies with ~27, ~64 leaves arranged as depth-1 (flat),
+depth-2 and depth-3 trees; simulated users perform full root-to-leaf
+selections; reported: total time per leaf reached and wrong activations.
+
+Expected shape: depth is the expensive axis — every level adds a full
+select cycle (~1.5 s); flat-with-chunking trades that for aux-button
+paging and stays competitive even at 64 leaves.  Breadth-first design
+carries over to distance scrolling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import MenuEntry, build_menu, flatten_paths
+from repro.experiments.harness import ExperimentResult
+from repro.interaction.user import SimulatedUser
+
+__all__ = ["run_breadth", "build_uniform_tree"]
+
+
+def build_uniform_tree(branching: int, depth: int) -> MenuEntry:
+    """A uniform tree with ``branching**depth`` leaves."""
+
+    def spec(level: int) -> dict | list:
+        if level == depth - 1:
+            return [f"L{level}-{i}" for i in range(branching)]
+        return {f"N{level}-{i}": spec(level + 1) for i in range(branching)}
+
+    return build_menu(spec(0), label="root")
+
+
+#: (label, branching, depth) shapes with comparable leaf counts.
+DEFAULT_SHAPES: tuple[tuple[str, int, int], ...] = (
+    ("27 flat (27^1)", 27, 1),
+    ("27 square (5~x2)", 5, 2),  # 25 leaves, closest square
+    ("27 deep (3^3)", 3, 3),
+    ("64 flat (64^1)", 64, 1),
+    ("64 square (8^2)", 8, 2),
+    ("64 deep (4^3)", 4, 3),
+)
+
+
+def run_breadth(
+    seed: int = 0,
+    shapes: tuple[tuple[str, int, int], ...] = DEFAULT_SHAPES,
+    n_tasks: int = 6,
+    n_users: int = 2,
+) -> ExperimentResult:
+    """Time a full root-to-leaf selection across hierarchy shapes."""
+    result = ExperimentResult(
+        experiment_id="EXT-BREADTH",
+        title="Hierarchy shape: breadth vs depth under distance scrolling",
+        columns=(
+            "shape",
+            "leaves",
+            "mean_leaf_s",
+            "wrong_per_task",
+            "success_rate",
+        ),
+    )
+    master = np.random.default_rng(seed)
+
+    for label, branching, depth in shapes:
+        menu = build_uniform_tree(branching, depth)
+        paths = flatten_paths(menu)
+        times, wrong, ok, total = [], 0, 0, 0
+        for _ in range(n_users):
+            user_seed = int(master.integers(2**31))
+            rng = np.random.default_rng(user_seed)
+            device = DistScroll(
+                menu, config=DeviceConfig(chunk_size=10), seed=user_seed
+            )
+            user = SimulatedUser(device=device, rng=rng)
+            user.practice_trials = 30
+            device.run_for(0.5)
+            for _task in range(n_tasks):
+                path = paths[int(rng.integers(0, len(paths)))]
+                start = device.now
+                task_ok = True
+                task_wrong = 0
+                for level_label in path:
+                    labels = [
+                        e.label for e in device.firmware.cursor.entries
+                    ]
+                    trial = user.select_entry(labels.index(level_label))
+                    task_ok = task_ok and trial.success
+                    task_wrong += trial.wrong_activations
+                times.append(device.now - start)
+                wrong += task_wrong
+                ok += int(task_ok)
+                total += 1
+                while device.depth > 0:
+                    device.click("back")
+        result.add_row(
+            label,
+            len(paths),
+            float(np.mean(times)),
+            wrong / total,
+            ok / total,
+        )
+    result.note(
+        "expected: depth is expensive — every extra level adds a full "
+        "select cycle; flat-with-chunking and one-split (8-10 per level) "
+        "shapes trade paging clicks against tree descents and come out "
+        "comparable, so designers should minimize depth first"
+    )
+    return result

@@ -1,0 +1,129 @@
+"""EXT-DIR — §7 Q5: scroll down towards oneself, or away?
+
+"We are currently analyzing whether it is more intuitive to move the
+DistScroll towards oneself to scroll down or to scroll up through the
+hierarchical data structure."
+
+The reproduction models the *mental-model mismatch* cost: each simulated
+participant arrives with a prior polarity expectation (a population-level
+bias toward "pulling towards me moves me down the list", as in pulling a
+document closer).  When the device's configured polarity contradicts the
+prior, the participant's first reach goes the wrong way (mirrored around
+the range center) until the display feedback corrects them; with
+practice the mismatch washes out.
+
+Reported per polarity: first-block and last-block selection times and
+wrong-way first reaches — the shape the authors' planned study would see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DeviceConfig, ScrollDirection
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.experiments.harness import ExperimentResult
+from repro.interaction.tasks import random_targets
+from repro.interaction.user import SimulatedUser
+
+__all__ = ["run_direction", "MirrorPronedUser"]
+
+#: Fraction of the population expecting "towards me = down" (pulling a
+#: page closer reveals lower content; also the dominant reading in small
+#: pilots of tangible pull interfaces).
+TOWARDS_DOWN_PRIOR = 0.7
+
+
+class MirrorPronedUser(SimulatedUser):
+    """A user whose first reaches follow their *prior* polarity.
+
+    While unadapted, a reach toward entry ``i`` under a mismatching
+    device polarity aims at the mirror position; seeing the highlight go
+    the wrong way adapts the user (probabilistically per exposure).
+    """
+
+    def __init__(self, *args, prior_matches_device: bool, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.adapted = prior_matches_device
+        self._exposures = 0
+
+    def _reach(self, aim_cm: float, width_cm: float, first: bool) -> None:
+        if not self.adapted and first:
+            near, far = self.device.config.range_cm
+            aim_cm = near + far - aim_cm  # mirrored mental model
+            self._exposures += 1
+            # Feedback teaches quickly: ~80% adapt per wrong-way exposure.
+            if self.rng.random() < 0.8:
+                self.adapted = True
+        super()._reach(aim_cm, width_cm, first)
+
+
+def run_direction(
+    seed: int = 0,
+    n_users: int = 10,
+    n_trials: int = 10,
+    n_entries: int = 10,
+) -> ExperimentResult:
+    """Compare both polarities over a mixed-prior population."""
+    result = ExperimentResult(
+        experiment_id="EXT-DIR",
+        title="Scroll polarity vs population priors",
+        columns=(
+            "polarity",
+            "matching_users",
+            "first3_mean_s",
+            "last3_mean_s",
+            "wrong_way_reaches",
+        ),
+    )
+    master = np.random.default_rng(seed)
+    labels = [f"Item {i}" for i in range(n_entries)]
+
+    for polarity in (
+        ScrollDirection.TOWARDS_SCROLLS_DOWN,
+        ScrollDirection.TOWARDS_SCROLLS_UP,
+    ):
+        config = DeviceConfig(direction=polarity)
+        first_times, last_times = [], []
+        wrong_way = 0
+        matching = 0
+        for _ in range(n_users):
+            user_seed = int(master.integers(2**31))
+            rng = np.random.default_rng(user_seed)
+            prior_towards_down = rng.random() < TOWARDS_DOWN_PRIOR
+            matches = prior_towards_down == (
+                polarity is ScrollDirection.TOWARDS_SCROLLS_DOWN
+            )
+            matching += int(matches)
+            device = DistScroll(build_menu(labels), config=config, seed=user_seed)
+            user = MirrorPronedUser(
+                device=device, rng=rng, prior_matches_device=matches
+            )
+            user.practice_trials = 10  # knows the *mechanic*, maybe not polarity
+            device.run_for(0.5)
+            targets = random_targets(n_entries, n_trials, rng, min_separation=3)
+            for i, target in enumerate(targets):
+                adapted_before = user.adapted
+                trial = user.select_entry(target)
+                if not adapted_before:
+                    wrong_way += 1
+                if i < 3:
+                    first_times.append(trial.duration_s)
+                elif i >= n_trials - 3:
+                    last_times.append(trial.duration_s)
+                while device.depth > 0:
+                    device.click("back")
+        result.add_row(
+            polarity.value,
+            matching,
+            float(np.mean(first_times)),
+            float(np.mean(last_times)),
+            wrong_way,
+        )
+    result.note(
+        "expected: the polarity matching the population prior "
+        "(towards-down, ~70%) costs fewer wrong-way first reaches; the "
+        "difference washes out by the last trials — polarity is learnable"
+    )
+    return result

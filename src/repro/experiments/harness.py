@@ -1,0 +1,97 @@
+"""Common experiment-result plumbing.
+
+Every experiment module produces an :class:`ExperimentResult`: an id
+(matching the DESIGN.md index), a set of named columns and data rows, and
+free-form notes.  Benchmarks print them with :meth:`ExperimentResult.table`
+— the "same rows/series the paper reports" — and tests assert on the raw
+``rows``.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """A tabular experiment outcome.
+
+    Attributes
+    ----------
+    experiment_id:
+        DESIGN.md identifier, e.g. ``"FIG4"``.
+    title:
+        One-line description of what the table shows.
+    columns:
+        Column names.
+    rows:
+        Data rows (same arity as ``columns``).
+    notes:
+        Free-form findings appended under the table.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one data row (checked against the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        """Append a finding note."""
+        self.notes.append(text)
+
+    def column(self, name: str) -> list:
+        """Extract one column by name."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {self.experiment_id}") from None
+        return [row[index] for row in self.rows]
+
+    def table(self) -> str:
+        """Render a fixed-width text table (what the benches print)."""
+        headers = [str(c) for c in self.columns]
+        str_rows = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in str_rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Persist the rows as CSV."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,133 @@
+"""EXT-POWER — battery life of the 9 V prototype by workload.
+
+"The device is powered by a 9 Volt block battery" and the case opens
+specifically for battery changes (§4.1) — so how long does a charge
+last?  The power model books the PIC's run current, both displays, and
+an RF transmit pulse per event; this experiment integrates it over three
+representative workloads and extrapolates to full-battery life:
+
+* **idle** — device on, held still, nobody scrolling;
+* **browsing** — a user continuously performing menu selections
+  (RF event bursts, display rewrites);
+* **gaming** — the §5.2 altitude game (30 Hz rendering, no RF).
+
+Extrapolation is honest bookkeeping: measured mAh over a simulated
+window scaled to the 550 mAh capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.game import AltitudeGame
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.experiments.harness import ExperimentResult
+from repro.hardware.board import build_distscroll_board
+from repro.interaction.tasks import random_targets
+from repro.interaction.user import SimulatedUser
+from repro.sim.kernel import Simulator
+
+__all__ = ["run_power"]
+
+
+def run_power(
+    seed: int = 0, window_s: float = 60.0
+) -> ExperimentResult:
+    """Measure draw over a window per workload; extrapolate battery life."""
+    result = ExperimentResult(
+        experiment_id="EXT-POWER",
+        title="9 V battery life by workload",
+        columns=(
+            "workload",
+            "mean_current_ma",
+            "battery_life_h",
+            "rf_packets_per_min",
+        ),
+    )
+    for workload, runner in (
+        ("idle", _run_idle),
+        ("browsing", _run_browsing),
+        ("gaming", _run_gaming),
+    ):
+        drawn_mah, packets, elapsed = runner(seed, window_s)
+        mean_ma = drawn_mah / (elapsed / 3600.0)
+        capacity = 550.0
+        life_h = capacity / mean_ma if mean_ma > 0 else float("inf")
+        result.add_row(
+            workload,
+            mean_ma,
+            life_h,
+            packets / (elapsed / 60.0),
+        )
+    result.note(
+        "the dominant consumers are the PIC run current and the two "
+        "displays; RF bursts only matter while actively scrolling — a "
+        "9 V block comfortably covers a full study day"
+    )
+    return result
+
+
+def _run_idle(seed: int, window_s: float) -> tuple[float, int, float]:
+    device = DistScroll(build_menu([f"I{i}" for i in range(8)]), seed=seed)
+    device.hold_at(15.0)
+    start_mah = device.board.battery.total_drawn_mah
+    start_packets = device.board.rf_link.packets_sent
+    device.run_for(window_s)
+    return (
+        device.board.battery.total_drawn_mah - start_mah,
+        device.board.rf_link.packets_sent - start_packets,
+        window_s,
+    )
+
+
+def _run_browsing(seed: int, window_s: float) -> tuple[float, int, float]:
+    device = DistScroll(build_menu([f"I{i}" for i in range(10)]), seed=seed)
+    rng = np.random.default_rng(seed)
+    user = SimulatedUser(device=device, rng=rng)
+    user.practice_trials = 30
+    device.run_for(0.5)
+    start_mah = device.board.battery.total_drawn_mah
+    start_packets = device.board.rf_link.packets_sent
+    start_time = device.now
+    targets = random_targets(10, 1000, rng, min_separation=2)
+    for target in targets:
+        if device.now - start_time >= window_s:
+            break
+        user.select_entry(target)
+        while device.depth > 0:
+            device.click("back")
+    elapsed = device.now - start_time
+    return (
+        device.board.battery.total_drawn_mah - start_mah,
+        device.board.rf_link.packets_sent - start_packets,
+        elapsed,
+    )
+
+
+def _run_gaming(seed: int, window_s: float) -> tuple[float, int, float]:
+    sim = Simulator(seed=seed)
+    board = build_distscroll_board(sim)
+    game = AltitudeGame(board)
+    rng = np.random.default_rng(seed)
+    start_mah = board.battery.total_drawn_mah
+    start_packets = board.rf_link.packets_sent
+    start_time = sim.now
+    # A hand waggling plus occasional fire; the game draws per tick via
+    # the display/mcu model... the game loop itself does not book MCU
+    # power (it is not the menu firmware), so book it explicitly here
+    # the way the firmware does: run current + displays.
+    while sim.now - start_time < window_s:
+        board.set_pose(distance_cm=float(rng.uniform(7.0, 26.0)))
+        if rng.random() < 0.3:
+            game.fire()
+        step = 0.5
+        board.mcu.consume_power(step)
+        board.battery.draw(6.0, step)  # both displays
+        sim.run_until(sim.now + step)
+    elapsed = sim.now - start_time
+    return (
+        board.battery.total_drawn_mah - start_mah,
+        board.rf_link.packets_sent - start_packets,
+        elapsed,
+    )

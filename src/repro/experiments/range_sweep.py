@@ -1,0 +1,101 @@
+"""EXT-RANGE — §7 Q2: "Is the scrolling range of 4 to 30 cm appropriate?"
+
+The sweep varies the configured usable range and measures what the range
+trades off:
+
+* a **wide** range gives each entry a wide island (easy to hit, low
+  error) but forces large arm excursions (slow, fatiguing, and the far
+  end approaches the sensor's reliability limit);
+* a **narrow** range is quick to traverse but squeezes the islands until
+  sensor noise and tremor produce selection errors.
+
+Reported per candidate range: mean selection time, wrong activations,
+corrective submovements, and the mean arm excursion per trial — the
+quantitative answer the authors planned to collect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.experiments.harness import ExperimentResult
+from repro.interaction.tasks import random_targets
+from repro.interaction.user import SimulatedUser
+
+__all__ = ["run_range_sweep"]
+
+#: Candidate usable ranges (near_cm, far_cm).
+DEFAULT_RANGES: tuple[tuple[float, float], ...] = (
+    (5.0, 12.0),
+    (5.0, 18.0),
+    (5.0, 23.0),
+    (5.0, 28.0),
+    (10.0, 28.0),
+    (15.0, 28.0),
+)
+
+
+def run_range_sweep(
+    seed: int = 0,
+    ranges: tuple[tuple[float, float], ...] = DEFAULT_RANGES,
+    n_entries: int = 10,
+    n_trials: int = 10,
+    n_users: int = 3,
+) -> ExperimentResult:
+    """Measure speed/error/effort across usable scroll ranges."""
+    result = ExperimentResult(
+        experiment_id="EXT-RANGE",
+        title=f"Usable-range sweep ({n_entries}-entry menu)",
+        columns=(
+            "range_cm",
+            "span_cm",
+            "mean_trial_s",
+            "wrong_per_trial",
+            "submovements",
+            "mean_excursion_cm",
+            "fatigue_per_trial",
+        ),
+    )
+    master = np.random.default_rng(seed)
+    labels = [f"Item {i}" for i in range(n_entries)]
+
+    for near, far in ranges:
+        config = DeviceConfig(range_cm=(near, far))
+        times, wrongs, subs, excursions, fatigues = [], [], [], [], []
+        for _ in range(n_users):
+            user_seed = int(master.integers(2**31))
+            rng = np.random.default_rng(user_seed)
+            device = DistScroll(build_menu(labels), config=config, seed=user_seed)
+            user = SimulatedUser(device=device, rng=rng)
+            user.practice_trials = 30  # trained users isolate the range effect
+            device.run_for(0.5)
+            targets = random_targets(n_entries, n_trials, rng, min_separation=2)
+            for target in targets:
+                path_before = user.hand.total_path_cm
+                fatigue_before = user.hand.fatigue_units
+                trial = user.select_entry(target)
+                times.append(trial.duration_s)
+                wrongs.append(trial.wrong_activations)
+                subs.append(trial.submovements)
+                excursions.append(user.hand.total_path_cm - path_before)
+                fatigues.append(user.hand.fatigue_units - fatigue_before)
+                while device.depth > 0:
+                    device.click("back")
+        result.add_row(
+            f"{near:.0f}-{far:.0f}",
+            far - near,
+            float(np.mean(times)),
+            float(np.mean(wrongs)),
+            float(np.mean(subs)),
+            float(np.mean(excursions)),
+            float(np.mean(fatigues)),
+        )
+    result.note(
+        "expected: errors rise as the span shrinks (islands compress into "
+        "sensor noise); excursion (fatigue proxy) grows with span — the "
+        "paper's 4-30 cm prediction sits near the sweet spot"
+    )
+    return result

@@ -1,0 +1,124 @@
+"""STUDY1 — the initial user study of Section 6, quantified.
+
+The paper's protocol: "We presented our new interaction technique to
+several people, students, colleagues and people without direct technical
+background.  We handed them the DistScroll device and observed their
+interactions.  Even when no hints were given, the manner of operation was
+promptly discovered.  Shortly after knowing the relation between menu
+entry selection and distance, all users were able to nearly errorless
+use the device."
+
+The reproduction runs N simulated participants through the same arc:
+an unguided discovery phase on the fictive phone menu, then blocks of
+selection trials.  Reported per block: error rate (wrong activations per
+trial), mean selection time, and the fraction of error-free users — the
+paper's qualitative claims map to (a) discovery within tens of seconds
+without hints and (b) block-2+ error rates near zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.experiments.harness import ExperimentResult
+from repro.interaction.tasks import random_targets
+from repro.interaction.user import SimulatedUser
+
+__all__ = ["run_user_study", "STUDY_MENU_LABELS"]
+
+#: Top level of the fictive phone menu used in the study (flat for the
+#: selection blocks; the hierarchical tasks live in the examples).
+STUDY_MENU_LABELS = [
+    "Messages",
+    "Call register",
+    "Contacts",
+    "Settings",
+    "Gallery",
+    "Organiser",
+    "Games",
+    "Extras",
+    "Services",
+    "Profiles",
+]
+
+
+def run_user_study(
+    seed: int = 0,
+    n_users: int = 12,
+    n_blocks: int = 4,
+    trials_per_block: int = 8,
+    config: DeviceConfig | None = None,
+) -> ExperimentResult:
+    """Run the full initial-study protocol over simulated participants."""
+    result = ExperimentResult(
+        experiment_id="STUDY1",
+        title="Initial user study: discovery and learning blocks",
+        columns=(
+            "block",
+            "error_rate",
+            "errorless_users_frac",
+            "mean_trial_s",
+            "mean_submovements",
+        ),
+    )
+    master = np.random.default_rng(seed)
+    discoveries = []
+    block_errors = np.zeros((n_users, n_blocks))
+    block_times = np.zeros((n_users, n_blocks))
+    block_subs = np.zeros((n_users, n_blocks))
+
+    for u in range(n_users):
+        user_seed = int(master.integers(2**31))
+        rng = np.random.default_rng(user_seed)
+        device = DistScroll(
+            build_menu(STUDY_MENU_LABELS), config=config, seed=user_seed
+        )
+        user = SimulatedUser(device=device, rng=rng)
+        device.run_for(0.5)
+
+        discovery = user.discover()
+        discoveries.append(discovery)
+
+        for block in range(n_blocks):
+            targets = random_targets(
+                len(STUDY_MENU_LABELS), trials_per_block, rng, min_separation=2
+            )
+            errors = 0
+            times = []
+            subs = []
+            for target in targets:
+                trial = user.select_entry(target)
+                errors += trial.wrong_activations
+                times.append(trial.duration_s)
+                subs.append(trial.submovements)
+                while device.depth > 0:
+                    device.click("back")
+            block_errors[u, block] = errors / trials_per_block
+            block_times[u, block] = float(np.mean(times))
+            block_subs[u, block] = float(np.mean(subs))
+
+    for block in range(n_blocks):
+        result.add_row(
+            block + 1,
+            float(block_errors[:, block].mean()),
+            float((block_errors[:, block] == 0).mean()),
+            float(block_times[:, block].mean()),
+            float(block_subs[:, block].mean()),
+        )
+
+    discovered = [d for d in discoveries if d.discovered]
+    result.note(
+        f"discovery without hints: {len(discovered)}/{n_users} users, "
+        f"median {np.median([d.time_to_discovery_s for d in discovered]):.1f} s, "
+        f"median {np.median([d.exploratory_movements for d in discovered]):.0f} "
+        "exploratory movements — 'promptly discovered'"
+    )
+    late_error = float(block_errors[:, 1:].mean())
+    result.note(
+        f"mean error rate after block 1: {late_error:.3f} wrong activations/"
+        "trial — 'nearly errorless' once the relation is known"
+    )
+    return result

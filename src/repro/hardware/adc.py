@@ -1,0 +1,139 @@
+"""10-bit successive-approximation ADC of the PIC 18F452.
+
+The Smart-Its base board digitizes the GP2D120's analog output with the
+PIC's built-in 10-bit ADC.  Figure 4 of the paper plots the "measured
+analog voltage at Smart-Its input port" — i.e. exactly what this model
+produces, scaled back to volts.
+
+Modeled effects: reference-voltage scaling, 10-bit quantization, integral
+non-linearity (a gentle bow, < 1 LSB typical), sample-and-hold noise, and
+conversion time (the PIC needs ~20 µs per conversion, which matters only
+for the firmware's cycle budget accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["ADCParams", "ADC", "AnalogSource"]
+
+#: Type of a callable returning a voltage for a simulated time.
+AnalogSource = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class ADCParams:
+    """Converter parameters.
+
+    Attributes
+    ----------
+    resolution_bits:
+        Word size; the PIC 18F452 ADC is 10-bit.
+    v_ref:
+        Full-scale reference voltage.
+    inl_lsb:
+        Peak integral non-linearity in LSB (applied as a smooth bow).
+    noise_lsb_rms:
+        RMS input-referred noise in LSB.
+    conversion_time_s:
+        Time one conversion occupies the converter.
+    """
+
+    resolution_bits: int = 10
+    v_ref: float = 5.0
+    inl_lsb: float = 0.5
+    noise_lsb_rms: float = 0.4
+    conversion_time_s: float = 20e-6
+
+    @property
+    def max_code(self) -> int:
+        """Largest output code (1023 for 10 bits)."""
+        return (1 << self.resolution_bits) - 1
+
+    @property
+    def lsb_volts(self) -> float:
+        """Voltage step of one code."""
+        return self.v_ref / (self.max_code + 1)
+
+
+@dataclass
+class ADC:
+    """A multi-channel ADC front end.
+
+    Channels are registered with :meth:`attach`; the firmware then calls
+    :meth:`sample` with the current simulated time and a channel number,
+    mirroring how the C firmware selects an ADC channel and starts a
+    conversion.
+
+    Parameters
+    ----------
+    params:
+        Converter electrical parameters.
+    rng:
+        Noise generator; ``None`` gives an ideal noiseless converter.
+    """
+
+    params: ADCParams = field(default_factory=ADCParams)
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        self._channels: dict[int, AnalogSource] = {}
+        self.conversions = 0
+
+    def attach(self, channel: int, source: AnalogSource) -> None:
+        """Wire an analog source (a ``time -> volts`` callable) to a channel."""
+        if channel < 0:
+            raise ValueError(f"channel must be >= 0, got {channel}")
+        self._channels[channel] = source
+
+    def detach(self, channel: int) -> None:
+        """Remove a channel wiring (no-op if absent)."""
+        self._channels.pop(channel, None)
+
+    @property
+    def channels(self) -> list[int]:
+        """Sorted list of wired channel numbers."""
+        return sorted(self._channels)
+
+    def sample(self, time_s: float, channel: int) -> int:
+        """Convert the channel's voltage at ``time_s`` to a raw code.
+
+        Raises
+        ------
+        KeyError
+            If nothing is attached to ``channel``.
+        """
+        try:
+            source = self._channels[channel]
+        except KeyError:
+            raise KeyError(f"no analog source attached to ADC channel {channel}")
+        voltage = float(source(time_s))
+        self.conversions += 1
+        return self._quantize(voltage)
+
+    def sample_volts(self, time_s: float, channel: int) -> float:
+        """Sample a channel and convert the code back to volts.
+
+        This is the "measured analog voltage at Smart-Its input port" of
+        Figure 4 — it carries the quantization of the real measurement.
+        """
+        return self.sample(time_s, channel) * self.params.lsb_volts
+
+    def code_for_voltage(self, voltage: float) -> int:
+        """Ideal (noise-free) code for a voltage — used to place islands."""
+        params = self.params
+        code = voltage / params.v_ref * (params.max_code + 1)
+        return int(np.clip(round(code), 0, params.max_code))
+
+    def _quantize(self, voltage: float) -> int:
+        params = self.params
+        fraction = voltage / params.v_ref
+        code = fraction * (params.max_code + 1)
+        # Integral non-linearity: a half-sine bow peaking mid-scale.
+        code += params.inl_lsb * np.sin(np.pi * np.clip(fraction, 0.0, 1.0))
+        if self.rng is not None:
+            code += self.rng.normal(0.0, params.noise_lsb_rms)
+        return int(np.clip(round(code), 0, params.max_code))

@@ -1,0 +1,101 @@
+"""9-volt block battery model powering the prototype.
+
+"The device is powered by a 9 Volt block battery" (Section 4).  The model
+tracks charge draw from the board's consumers and reproduces the alkaline
+discharge curve: terminal voltage sags with depth of discharge and under
+load, and the board browns out when the regulator input falls below its
+dropout threshold.
+
+This matters to the reproduction in two ways: the case is openable
+specifically "to allow ... battery changes", and long user-study sessions
+must not silently run the simulated battery flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BatteryParams", "Battery"]
+
+
+@dataclass(frozen=True)
+class BatteryParams:
+    """Electrical parameters of a 9 V alkaline block.
+
+    Attributes
+    ----------
+    capacity_mah:
+        Nominal capacity (≈550 mAh for alkaline 9 V).
+    nominal_voltage:
+        Fresh open-circuit voltage.
+    cutoff_voltage:
+        Below this the 5 V regulator drops out and the board browns out.
+    internal_resistance_ohm:
+        Causes load-dependent sag.
+    """
+
+    capacity_mah: float = 550.0
+    nominal_voltage: float = 9.4
+    cutoff_voltage: float = 6.0
+    internal_resistance_ohm: float = 1.7
+
+
+class Battery:
+    """State-of-charge tracking battery.
+
+    Consumers call :meth:`draw` with their current and a duration;
+    :meth:`terminal_voltage` reports the sagged voltage under the present
+    load.  The open-circuit curve is a piecewise-linear fit of the alkaline
+    discharge profile.
+    """
+
+    _SOC_POINTS = np.array([0.0, 0.05, 0.2, 0.5, 0.8, 1.0])
+    _OCV_POINTS = np.array([5.4, 6.3, 7.4, 8.1, 8.9, 9.4])
+
+    def __init__(self, params: BatteryParams | None = None) -> None:
+        self.params = params or BatteryParams()
+        self._charge_mah = self.params.capacity_mah
+        self._load_ma = 0.0
+        self.total_drawn_mah = 0.0
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining fraction of capacity in [0, 1]."""
+        return max(self._charge_mah, 0.0) / self.params.capacity_mah
+
+    @property
+    def load_ma(self) -> float:
+        """Most recent load current in mA."""
+        return self._load_ma
+
+    def open_circuit_voltage(self) -> float:
+        """No-load terminal voltage at the current state of charge."""
+        return float(
+            np.interp(self.state_of_charge, self._SOC_POINTS, self._OCV_POINTS)
+        )
+
+    def terminal_voltage(self) -> float:
+        """Voltage at the terminals under the present load."""
+        sag = self._load_ma / 1000.0 * self.params.internal_resistance_ohm
+        return max(self.open_circuit_voltage() - sag, 0.0)
+
+    @property
+    def browned_out(self) -> bool:
+        """Whether the regulator has dropped out."""
+        return self.terminal_voltage() < self.params.cutoff_voltage
+
+    def draw(self, current_ma: float, duration_s: float) -> None:
+        """Consume charge: ``current_ma`` for ``duration_s`` seconds."""
+        if current_ma < 0 or duration_s < 0:
+            raise ValueError("current and duration must be non-negative")
+        self._load_ma = float(current_ma)
+        used = current_ma * duration_s / 3600.0
+        self._charge_mah -= used
+        self.total_drawn_mah += used
+
+    def replace(self) -> None:
+        """Swap in a fresh battery (the case opens for exactly this)."""
+        self._charge_mah = self.params.capacity_mah
+        self._load_ma = 0.0

@@ -1,0 +1,175 @@
+"""Simulated I2C bus connecting the Smart-Its to its displays.
+
+The two Barton BT96040 chip-on-glass displays "are connected to the
+Smart-Its via the I2C-bus" (Section 4.4).  The bus model captures the
+properties that matter for interaction latency: a finite clock rate (so a
+full display update takes milliseconds, not zero time), 7-bit addressing
+with ACK/NAK, and occasional transaction errors that the firmware must
+retry.
+
+The bus is synchronous from the caller's perspective — a transaction
+returns its result immediately — but reports how long it occupied the bus
+so the firmware can account for the time in its loop budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+__all__ = ["I2CDevice", "I2CBus", "I2CError", "TransferResult"]
+
+
+class I2CError(RuntimeError):
+    """A failed bus transaction (NAK after retries, bus stuck, ...)."""
+
+
+class I2CDevice(Protocol):
+    """Protocol every bus peripheral implements."""
+
+    def i2c_write(self, payload: bytes) -> None:
+        """Accept a write transaction payload."""
+
+    def i2c_read(self, length: int) -> bytes:
+        """Produce ``length`` bytes for a read transaction."""
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one bus transaction.
+
+    Attributes
+    ----------
+    ok:
+        Whether the transfer eventually succeeded.
+    duration_s:
+        Bus time consumed, including retries.
+    retries:
+        Number of retries performed.
+    data:
+        Bytes read (empty for writes).
+    """
+
+    ok: bool
+    duration_s: float
+    retries: int
+    data: bytes = b""
+
+
+class I2CBus:
+    """A single-master I2C bus.
+
+    Parameters
+    ----------
+    clock_hz:
+        SCL frequency; standard mode is 100 kHz, which with 9 bits per
+        byte gives ~90 µs per transferred byte.
+    error_rate:
+        Per-transaction probability of a transient failure (electrical
+        noise, clock stretching timeout).  Failures are retried up to
+        ``max_retries`` times, as the C firmware does.
+    rng:
+        Random generator for error injection; ``None`` disables errors.
+    """
+
+    def __init__(
+        self,
+        clock_hz: float = 100_000.0,
+        error_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        max_retries: int = 3,
+    ) -> None:
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError(f"error_rate must be in [0,1), got {error_rate}")
+        self.clock_hz = float(clock_hz)
+        self.error_rate = float(error_rate)
+        self.max_retries = int(max_retries)
+        self._rng = rng
+        self._devices: dict[int, I2CDevice] = {}
+        self.bytes_transferred = 0
+        self.transactions = 0
+
+    def attach(self, address: int, device: I2CDevice) -> None:
+        """Put a peripheral on the bus at a 7-bit address."""
+        if not 0 <= address <= 0x7F:
+            raise ValueError(f"I2C address must be 7-bit, got {address:#x}")
+        if address in self._devices:
+            raise ValueError(f"address {address:#x} already in use")
+        self._devices[address] = device
+
+    def detach(self, address: int) -> None:
+        """Remove a peripheral (no-op if absent)."""
+        self._devices.pop(address, None)
+
+    @property
+    def addresses(self) -> list[int]:
+        """Sorted list of occupied addresses."""
+        return sorted(self._devices)
+
+    def _byte_time(self) -> float:
+        # 8 data bits + ACK per byte, plus start/stop overhead folded in.
+        return 9.0 / self.clock_hz
+
+    def _transaction_fails(self) -> bool:
+        if self._rng is None or self.error_rate <= 0.0:
+            return False
+        return bool(self._rng.random() < self.error_rate)
+
+    def write(self, address: int, payload: bytes) -> TransferResult:
+        """Master write: address byte + payload to a peripheral.
+
+        Raises
+        ------
+        I2CError
+            If no device ACKs the address, or retries are exhausted.
+        """
+        device = self._require(address)
+        n_bytes = 1 + len(payload)
+        retries = 0
+        while True:
+            duration = (retries + 1) * n_bytes * self._byte_time()
+            if not self._transaction_fails():
+                device.i2c_write(bytes(payload))
+                self.bytes_transferred += n_bytes
+                self.transactions += 1
+                return TransferResult(ok=True, duration_s=duration, retries=retries)
+            retries += 1
+            if retries > self.max_retries:
+                raise I2CError(
+                    f"write to {address:#x} failed after {self.max_retries} retries"
+                )
+
+    def read(self, address: int, length: int) -> TransferResult:
+        """Master read: fetch ``length`` bytes from a peripheral."""
+        device = self._require(address)
+        n_bytes = 1 + length
+        retries = 0
+        while True:
+            duration = (retries + 1) * n_bytes * self._byte_time()
+            if not self._transaction_fails():
+                data = device.i2c_read(length)
+                if len(data) != length:
+                    raise I2CError(
+                        f"device {address:#x} returned {len(data)} bytes, "
+                        f"expected {length}"
+                    )
+                self.bytes_transferred += n_bytes
+                self.transactions += 1
+                return TransferResult(
+                    ok=True, duration_s=duration, retries=retries, data=data
+                )
+            retries += 1
+            if retries > self.max_retries:
+                raise I2CError(
+                    f"read from {address:#x} failed after {self.max_retries} retries"
+                )
+
+    def _require(self, address: int) -> I2CDevice:
+        try:
+            return self._devices[address]
+        except KeyError:
+            raise I2CError(f"no device ACKs address {address:#x}")

@@ -1,0 +1,48 @@
+"""Trimmer potentiometer adjusting display contrast/brightness.
+
+"Display brightness can be adjusted with a potentiometer" (Section 4.1).
+A trivially small component, but part of the faithful board inventory: the
+pot divides the supply rail and its wiper voltage drives the display
+contrast input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Potentiometer"]
+
+
+class Potentiometer:
+    """A linear-taper trimmer pot used as a voltage divider.
+
+    Parameters
+    ----------
+    total_resistance_ohm:
+        End-to-end resistance.
+    position:
+        Initial wiper position in [0, 1].
+    """
+
+    def __init__(self, total_resistance_ohm: float = 10_000.0, position: float = 0.5) -> None:
+        if total_resistance_ohm <= 0:
+            raise ValueError("resistance must be positive")
+        self.total_resistance_ohm = float(total_resistance_ohm)
+        self._position = float(np.clip(position, 0.0, 1.0))
+
+    @property
+    def position(self) -> float:
+        """Wiper position in [0, 1]."""
+        return self._position
+
+    def set_position(self, position: float) -> None:
+        """Turn the trimmer; values are clamped to the physical travel."""
+        self._position = float(np.clip(position, 0.0, 1.0))
+
+    def wiper_voltage(self, supply_voltage: float) -> float:
+        """Divided voltage at the wiper for the given supply rail."""
+        return supply_voltage * self._position
+
+    def resistance_to_ground(self) -> float:
+        """Resistance between wiper and the grounded end."""
+        return self.total_resistance_ohm * self._position

@@ -1,0 +1,137 @@
+"""Smart-Its RF link between the DistScroll and a host PC.
+
+The research prototype was chosen to be a "self contained interaction
+device that can be wirelessly linked to a PC" (Section 3.2).  The Smart-Its
+platform carries a short-range radio used here for logging and for driving
+PC-side study software.
+
+The model is a lossy, latency-bearing datagram channel: packets carry an
+opaque payload, experience a configurable per-packet loss probability and
+a transmission delay derived from the bitrate, and arrive in order (the
+Smart-Its radio is a simple narrowband transceiver — no reordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["Packet", "RFLink", "RFEndpoint"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One datagram on the air."""
+
+    source: str
+    payload: bytes
+    sent_at: float
+
+
+class RFEndpoint:
+    """One side of the link (the device, or the PC)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._link: Optional["RFLink"] = None
+        self._on_receive: Optional[Callable[[Packet], None]] = None
+        self.received: list[Packet] = []
+        self.sent_count = 0
+
+    def on_receive(self, callback: Callable[[Packet], None]) -> None:
+        """Register a delivery callback (packets also accumulate in
+        :attr:`received` regardless)."""
+        self._on_receive = callback
+
+    def send(self, payload: bytes) -> bool:
+        """Transmit a datagram to the peer.
+
+        Returns ``True`` if the packet made it onto the air (it may still
+        be lost in flight); ``False`` if the endpoint is not attached.
+        """
+        if self._link is None:
+            return False
+        self.sent_count += 1
+        return self._link._transmit(self, payload)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.received.append(packet)
+        if self._on_receive is not None:
+            self._on_receive(packet)
+
+
+class RFLink:
+    """A point-to-point radio link between two endpoints.
+
+    Parameters
+    ----------
+    sim:
+        Simulator providing the clock and delivery scheduling.
+    a, b:
+        The two endpoints to connect.
+    bitrate_bps:
+        Air bitrate; the Smart-Its radio runs around 125 kbit/s.
+    loss_rate:
+        Per-packet loss probability.
+    base_latency_s:
+        Fixed processing latency added to the serialization delay.
+    rng:
+        Generator for loss decisions; ``None`` disables losses.
+    """
+
+    #: Fixed per-packet framing overhead (preamble, address, CRC), bytes.
+    FRAME_OVERHEAD = 8
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: RFEndpoint,
+        b: RFEndpoint,
+        bitrate_bps: float = 125_000.0,
+        loss_rate: float = 0.0,
+        base_latency_s: float = 0.002,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0,1), got {loss_rate}")
+        self._sim = sim
+        self.bitrate_bps = float(bitrate_bps)
+        self.loss_rate = float(loss_rate)
+        self.base_latency_s = float(base_latency_s)
+        self._rng = rng
+        self._ends = {id(a): b, id(b): a}
+        a._link = self
+        b._link = self
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self._last_delivery_time = 0.0
+
+    def _transmit(self, sender: RFEndpoint, payload: bytes) -> bool:
+        peer = self._ends.get(id(sender))
+        if peer is None:
+            return False
+        self.packets_sent += 1
+        if self._rng is not None and self._rng.random() < self.loss_rate:
+            self.packets_lost += 1
+            return True
+        size_bits = (len(payload) + self.FRAME_OVERHEAD) * 8
+        delay = self.base_latency_s + size_bits / self.bitrate_bps
+        packet = Packet(source=sender.name, payload=bytes(payload), sent_at=self._sim.now)
+        # Enforce in-order delivery: never deliver before a prior packet.
+        deliver_at = max(self._sim.now + delay, self._last_delivery_time)
+        self._last_delivery_time = deliver_at
+        self._sim.schedule_at(deliver_at, lambda: peer._deliver(packet))
+        return True
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of transmitted packets not lost (1.0 when none sent)."""
+        if self.packets_sent == 0:
+            return 1.0
+        return 1.0 - self.packets_lost / self.packets_sent

@@ -1,0 +1,114 @@
+"""Simulated UART/serial link (the PDA's connector interface).
+
+The §7 plan is "a minimized version of the DistScroll as add-on for a
+PDA", attached "using the power connector e.g. of mobile phones" (§5.2).
+Those connectors expose a UART; this module models it: a byte-oriented,
+baud-limited, in-order stream with optional framing-error injection.
+
+Unlike the RF link there is no packet loss — a wired link fails by
+corrupting bytes (framing errors), which the add-on protocol must detect
+via its frame structure (see :mod:`repro.hardware.pda`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["UART"]
+
+
+class UART:
+    """One direction of a wired serial link.
+
+    Parameters
+    ----------
+    sim:
+        Simulator providing the clock.
+    baud:
+        Line rate in bits/s; with 8N1 framing each byte costs 10 bit
+        times.
+    framing_error_rate:
+        Per-byte probability of delivering a corrupted byte (connector
+        microphonics, brown-out glitches).
+    rng:
+        Error-injection randomness; ``None`` disables corruption.
+    """
+
+    BITS_PER_BYTE = 10  # 8N1: start + 8 data + stop
+
+    def __init__(
+        self,
+        sim: Simulator,
+        baud: int = 57_600,
+        framing_error_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if baud <= 0:
+            raise ValueError(f"baud must be positive, got {baud}")
+        if not 0.0 <= framing_error_rate < 1.0:
+            raise ValueError(
+                f"framing_error_rate must be in [0,1), got {framing_error_rate}"
+            )
+        self._sim = sim
+        self.baud = int(baud)
+        self.framing_error_rate = float(framing_error_rate)
+        self._rng = rng
+        self._on_byte: Optional[Callable[[int], None]] = None
+        self._rx_buffer: deque[int] = deque()
+        self._line_busy_until = 0.0
+        self.bytes_sent = 0
+        self.bytes_corrupted = 0
+
+    @property
+    def byte_time_s(self) -> float:
+        """Serialization time of one byte."""
+        return self.BITS_PER_BYTE / self.baud
+
+    def on_byte(self, callback: Callable[[int], None]) -> None:
+        """Register a receive ISR; bytes also queue in :meth:`read`."""
+        self._on_byte = callback
+
+    def write(self, data: bytes) -> float:
+        """Transmit bytes; returns the time the line stays busy.
+
+        Bytes are delivered individually at their serialization times,
+        in order, respecting line occupancy from earlier writes.
+        """
+        start = max(self._sim.now, self._line_busy_until)
+        for i, byte in enumerate(data):
+            deliver_at = start + (i + 1) * self.byte_time_s
+            value = self._maybe_corrupt(byte)
+            self._sim.schedule_at(deliver_at, self._make_delivery(value))
+        self._line_busy_until = start + len(data) * self.byte_time_s
+        self.bytes_sent += len(data)
+        return self._line_busy_until - self._sim.now
+
+    def read(self, max_bytes: int = 1 << 16) -> bytes:
+        """Drain up to ``max_bytes`` from the receive buffer."""
+        out = bytearray()
+        while self._rx_buffer and len(out) < max_bytes:
+            out.append(self._rx_buffer.popleft())
+        return bytes(out)
+
+    @property
+    def pending(self) -> int:
+        """Bytes waiting in the receive buffer."""
+        return len(self._rx_buffer)
+
+    def _maybe_corrupt(self, byte: int) -> int:
+        if self._rng is not None and self._rng.random() < self.framing_error_rate:
+            self.bytes_corrupted += 1
+            return int(self._rng.integers(0, 256))
+        return byte
+
+    def _make_delivery(self, byte: int) -> Callable[[], None]:
+        def deliver() -> None:
+            self._rx_buffer.append(byte)
+            if self._on_byte is not None:
+                self._on_byte(byte)
+        return deliver

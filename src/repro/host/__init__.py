@@ -1,0 +1,18 @@
+"""Host-PC side: RF event logging, study control, session persistence."""
+
+from repro.host.analysis import SessionAnalysis, TrialSlice, analyze_session
+from repro.host.logger import EventLogger, LoggedEvent
+from repro.host.replay import SessionRecorder, SessionReplay
+from repro.host.study import StudyController, TaskScore
+
+__all__ = [
+    "SessionAnalysis",
+    "TrialSlice",
+    "analyze_session",
+    "EventLogger",
+    "LoggedEvent",
+    "SessionRecorder",
+    "SessionReplay",
+    "StudyController",
+    "TaskScore",
+]

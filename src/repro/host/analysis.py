@@ -1,0 +1,224 @@
+"""Offline analysis of recorded sessions — the researcher's toolbox.
+
+A recorded session (:class:`~repro.host.replay.SessionReplay`) contains
+the decoded event stream plus the true hand trajectory.  This module
+derives the quantities an HCI paper reports from them:
+
+* **trial segmentation** — split the session at each ``EntryActivated``
+  into per-trial slices;
+* **movement kinematics** — per-trial peak velocity, path length, and
+  submovement count (velocity zero-crossing analysis, the standard
+  technique for counting corrective submovements in pointing studies);
+* **highlight dynamics** — scrolling rate, direction reversals.
+
+Everything here is pure post-processing: it sees only what a real
+logging pipeline would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import InteractionEvent
+from repro.host.replay import SessionReplay
+
+__all__ = ["TrialSlice", "SessionAnalysis", "analyze_session"]
+
+
+@dataclass(frozen=True)
+class TrialSlice:
+    """One activation-terminated slice of a session.
+
+    Attributes
+    ----------
+    start_s, end_s:
+        Slice bounds (previous activation → this activation).
+    activated_label:
+        The leaf that ended the slice.
+    duration_s:
+        Slice length.
+    path_cm:
+        Hand path length within the slice.
+    peak_velocity_cm_s:
+        Largest instantaneous hand speed.
+    submovements:
+        Number of distinct velocity peaks (corrective submovements show
+        up as additional peaks after the primary reach).
+    highlight_changes:
+        Scroll steps observed within the slice.
+    direction_reversals:
+        Times the scroll direction flipped (overshoot indicator).
+    """
+
+    start_s: float
+    end_s: float
+    activated_label: str
+    duration_s: float
+    path_cm: float
+    peak_velocity_cm_s: float
+    submovements: int
+    highlight_changes: int
+    direction_reversals: int
+
+
+@dataclass(frozen=True)
+class SessionAnalysis:
+    """Aggregate report over all trials of a session."""
+
+    trials: tuple[TrialSlice, ...]
+    total_duration_s: float
+    total_path_cm: float
+
+    @property
+    def n_trials(self) -> int:
+        """Number of activation-terminated trials."""
+        return len(self.trials)
+
+    @property
+    def mean_trial_s(self) -> float:
+        """Mean trial duration (0 when no trials)."""
+        if not self.trials:
+            return 0.0
+        return float(np.mean([t.duration_s for t in self.trials]))
+
+    @property
+    def mean_submovements(self) -> float:
+        """Mean corrective submovement count per trial."""
+        if not self.trials:
+            return 0.0
+        return float(np.mean([t.submovements for t in self.trials]))
+
+    @property
+    def mean_peak_velocity(self) -> float:
+        """Mean per-trial peak hand speed, cm/s."""
+        if not self.trials:
+            return 0.0
+        return float(np.mean([t.peak_velocity_cm_s for t in self.trials]))
+
+    def summary_rows(self) -> list[str]:
+        """Human-readable per-trial summary lines."""
+        rows = []
+        for i, trial in enumerate(self.trials):
+            rows.append(
+                f"trial {i + 1}: {trial.activated_label!r} "
+                f"{trial.duration_s:5.2f}s path={trial.path_cm:5.1f}cm "
+                f"vmax={trial.peak_velocity_cm_s:5.1f}cm/s "
+                f"sub={trial.submovements} rev={trial.direction_reversals}"
+            )
+        return rows
+
+
+def analyze_session(
+    replay: SessionReplay, min_peak_velocity_cm_s: float = 3.0
+) -> SessionAnalysis:
+    """Segment and analyze a recorded session.
+
+    Parameters
+    ----------
+    replay:
+        The loaded session.
+    min_peak_velocity_cm_s:
+        Velocity peaks below this are treated as tremor, not
+        submovements.
+    """
+    times = np.array([t for t, _ in replay.poses])
+    positions = np.array([d for _, d in replay.poses])
+
+    activations = [
+        event
+        for event in replay.events
+        if event.kind == "EntryActivated"
+    ]
+    highlights = [
+        event for event in replay.events if event.kind == "HighlightChanged"
+    ]
+
+    trials: list[TrialSlice] = []
+    previous_end = float(times[0]) if times.size else 0.0
+    for activation in activations:
+        end = float(activation.time)
+        trials.append(
+            _analyze_slice(
+                times,
+                positions,
+                highlights,
+                previous_end,
+                end,
+                activation,
+                min_peak_velocity_cm_s,
+            )
+        )
+        previous_end = end
+
+    return SessionAnalysis(
+        trials=tuple(trials),
+        total_duration_s=replay.duration(),
+        total_path_cm=replay.total_hand_travel_cm(),
+    )
+
+
+def _analyze_slice(
+    times: np.ndarray,
+    positions: np.ndarray,
+    highlights: list[InteractionEvent],
+    start: float,
+    end: float,
+    activation: InteractionEvent,
+    min_peak: float,
+) -> TrialSlice:
+    mask = (times >= start) & (times <= end)
+    t = times[mask]
+    x = positions[mask]
+    if t.size >= 2:
+        dt = np.diff(t)
+        dt[dt <= 0] = np.nan
+        velocity = np.diff(x) / dt
+        velocity = velocity[np.isfinite(velocity)]
+        path = float(np.sum(np.abs(np.diff(x))))
+        peak = float(np.max(np.abs(velocity))) if velocity.size else 0.0
+        submovements = _count_velocity_peaks(velocity, min_peak)
+    else:
+        path, peak, submovements = 0.0, 0.0, 0
+
+    slice_highlights = [
+        e for e in highlights if start <= e.time <= end
+    ]
+    reversals = 0
+    last_sign = 0
+    for event in slice_highlights:
+        step = event.index - event.previous_index
+        sign = (step > 0) - (step < 0)
+        if sign and last_sign and sign != last_sign:
+            reversals += 1
+        if sign:
+            last_sign = sign
+
+    return TrialSlice(
+        start_s=start,
+        end_s=end,
+        activated_label=activation.label,
+        duration_s=end - start,
+        path_cm=path,
+        peak_velocity_cm_s=peak,
+        submovements=submovements,
+        highlight_changes=len(slice_highlights),
+        direction_reversals=reversals,
+    )
+
+
+def _count_velocity_peaks(velocity: np.ndarray, min_peak: float) -> int:
+    """Count |velocity| local maxima above threshold (submovements)."""
+    if velocity.size < 3:
+        return 1 if velocity.size and np.max(np.abs(velocity)) > min_peak else 0
+    speed = np.abs(velocity)
+    peaks = 0
+    in_movement = False
+    for value in speed:
+        if not in_movement and value >= min_peak:
+            in_movement = True
+            peaks += 1
+        elif in_movement and value < min_peak * 0.4:
+            in_movement = False
+    return peaks

@@ -1,0 +1,100 @@
+"""Host-PC event logger — the receiving end of the Smart-Its RF link.
+
+The research prototype was built as a "self contained interaction device
+that can be wirelessly linked to a PC" (§3.2); the PC side collects the
+event stream for analysis.  :class:`EventLogger` attaches to the host RF
+endpoint, decodes the firmware's serialized events, timestamps gaps and
+losses, and exposes query helpers the study software builds on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Optional
+
+from repro.core.events import InteractionEvent, decode_event
+from repro.hardware.rf import Packet, RFEndpoint
+
+__all__ = ["LoggedEvent", "EventLogger"]
+
+
+class LoggedEvent:
+    """One decoded event with its host-side reception time."""
+
+    __slots__ = ("event", "received_at", "sent_at")
+
+    def __init__(self, event: InteractionEvent, received_at: float, sent_at: float):
+        self.event = event
+        self.received_at = received_at
+        self.sent_at = sent_at
+
+    @property
+    def link_latency(self) -> float:
+        """Air + processing latency experienced by this event."""
+        return self.received_at - self.sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LoggedEvent({self.event!r} @ {self.received_at:.3f})"
+
+
+class EventLogger:
+    """Decode and index the interaction-event stream on the host PC.
+
+    Parameters
+    ----------
+    endpoint:
+        The host-side RF endpoint (``board.rf_host``).
+    clock:
+        Callable returning the current simulated time (``lambda: sim.now``).
+    """
+
+    def __init__(self, endpoint: RFEndpoint, clock) -> None:
+        self._clock = clock
+        self.events: list[LoggedEvent] = []
+        self.decode_failures = 0
+        endpoint.on_receive(self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        try:
+            event = decode_event(packet.payload)
+        except ValueError:
+            self.decode_failures += 1
+            return
+        self.events.append(
+            LoggedEvent(event, received_at=self._clock(), sent_at=packet.sent_at)
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> Iterator[LoggedEvent]:
+        """Events of one kind, in reception order."""
+        return (le for le in self.events if le.event.kind == kind)
+
+    def counts(self) -> Counter:
+        """Histogram of event kinds."""
+        return Counter(le.event.kind for le in self.events)
+
+    def last(self, kind: Optional[str] = None) -> Optional[LoggedEvent]:
+        """Most recent event (optionally of a kind), or ``None``."""
+        for logged in reversed(self.events):
+            if kind is None or logged.event.kind == kind:
+                return logged
+        return None
+
+    def between(self, t0: float, t1: float) -> list[LoggedEvent]:
+        """Events whose *device* timestamps lie in ``[t0, t1]``."""
+        return [le for le in self.events if t0 <= le.event.time <= t1]
+
+    def mean_latency(self) -> float:
+        """Mean RF link latency over all received events (0 if none)."""
+        if not self.events:
+            return 0.0
+        return sum(le.link_latency for le in self.events) / len(self.events)
+
+    def clear(self) -> None:
+        """Drop all logged events (decode-failure count persists)."""
+        self.events.clear()

@@ -1,0 +1,151 @@
+"""Session recording and replay — persistence for study data.
+
+A :class:`SessionRecorder` captures everything a study session produces
+(decoded events plus the true hand trajectory, which the real authors
+could not record but a simulation can) into a JSON-lines file; a
+:class:`SessionReplay` loads it back for offline analysis, so experiment
+notebooks never need to re-run the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.device import DistScroll
+from repro.core.events import InteractionEvent, decode_event
+
+__all__ = ["SessionRecorder", "SessionReplay"]
+
+
+class SessionRecorder:
+    """Capture a device session to a JSONL file.
+
+    Records two record types:
+
+    * ``{"rec": "event", ...}`` — every interaction event;
+    * ``{"rec": "pose", "t": ..., "d": ...}`` — the true device distance,
+      sampled whenever it changes by more than ``pose_resolution_cm``.
+
+    Parameters
+    ----------
+    device:
+        The device to record.
+    path:
+        Output JSONL file.
+    pose_resolution_cm:
+        Minimum distance change between pose records.
+    """
+
+    def __init__(
+        self,
+        device: DistScroll,
+        path: str | Path,
+        pose_resolution_cm: float = 0.25,
+    ) -> None:
+        self._device = device
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self._path.open("w")
+        self._pose_resolution = float(pose_resolution_cm)
+        self._last_pose: Optional[float] = None
+        self.records_written = 0
+        device.on_event(self._on_event)
+        self._sample_pose_hook()
+
+    def _on_event(self, event: InteractionEvent) -> None:
+        self._write({"rec": "event", "data": event.to_bytes().decode()})
+        self._sample_pose_hook()
+
+    def _sample_pose_hook(self) -> None:
+        distance = self._device.distance_cm
+        if (
+            self._last_pose is None
+            or abs(distance - self._last_pose) >= self._pose_resolution
+        ):
+            self._last_pose = distance
+            self._write({"rec": "pose", "t": self._device.now, "d": distance})
+
+    def sample_pose(self) -> None:
+        """Explicitly sample the pose (call from a periodic task)."""
+        self._sample_pose_hook()
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        self._handle.close()
+
+    def __enter__(self) -> "SessionRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class SessionReplay:
+    """A loaded session: events and pose trajectory.
+
+    Attributes
+    ----------
+    events:
+        Decoded interaction events in order.
+    poses:
+        ``(time, distance_cm)`` samples of the true trajectory.
+    """
+
+    events: list[InteractionEvent]
+    poses: list[tuple[float, float]]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionReplay":
+        """Parse a recorder file.
+
+        Raises
+        ------
+        ValueError
+            On malformed records (fail fast: corrupt study data must not
+            silently skew analysis).
+        """
+        events: list[InteractionEvent] = []
+        poses: list[tuple[float, float]] = []
+        with Path(path).open() as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"line {line_no}: bad JSON: {exc}") from exc
+                kind = record.get("rec")
+                if kind == "event":
+                    events.append(decode_event(record["data"].encode()))
+                elif kind == "pose":
+                    poses.append((float(record["t"]), float(record["d"])))
+                else:
+                    raise ValueError(f"line {line_no}: unknown record {kind!r}")
+        return cls(events=events, poses=poses)
+
+    def events_of_kind(self, kind: str) -> Iterator[InteractionEvent]:
+        """Events of one kind in order."""
+        return (e for e in self.events if e.kind == kind)
+
+    def duration(self) -> float:
+        """Span of the recorded session in simulated seconds."""
+        times = [t for t, _ in self.poses] + [e.time for e in self.events]
+        if not times:
+            return 0.0
+        return max(times) - min(times)
+
+    def total_hand_travel_cm(self) -> float:
+        """Path length of the recorded trajectory."""
+        travel = 0.0
+        for (_, a), (_, b) in zip(self.poses, self.poses[1:]):
+            travel += abs(b - a)
+        return travel

@@ -1,0 +1,157 @@
+"""Study controller — the PC-side software the authors planned (§6).
+
+"We later plan to provide the user with information necessary for
+conducting the user study itself, such as instructions which items are
+to be searched or selected."  This module is that study software: it
+administers a task list, pushes each instruction to the device's second
+display over the (simulated) link, watches the decoded RF event stream
+for the activation that completes the task, and scores timing and
+errors — all from the *host's* perspective, using only what the real PC
+would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.device import DistScroll
+from repro.core.menu import MenuEntry
+from repro.host.logger import EventLogger
+
+__all__ = ["TaskScore", "StudyController"]
+
+
+@dataclass
+class TaskScore:
+    """Host-side scoring of one instructed task."""
+
+    path: tuple[str, ...]
+    started_at: float
+    completed_at: Optional[float] = None
+    wrong_activations: int = 0
+    highlight_changes: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """Whether the correct leaf was eventually activated."""
+        return self.completed_at is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Task time (0 while incomplete)."""
+        if self.completed_at is None:
+            return 0.0
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class StudyController:
+    """Administer instructed selection tasks from the host PC.
+
+    Parameters
+    ----------
+    device:
+        The device under study (the controller only *reads* its RF stream
+        and writes instructions to the bottom display — it never touches
+        firmware internals, mirroring the real setup).
+    """
+
+    device: DistScroll
+    logger: EventLogger = field(init=False)
+    scores: list[TaskScore] = field(default_factory=list, init=False)
+    _active: Optional[TaskScore] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.logger = EventLogger(
+            self.device.board.rf_host, clock=lambda: self.device.sim.now
+        )
+
+    # ------------------------------------------------------------------
+    # task administration
+    # ------------------------------------------------------------------
+    def begin_task(self, path: Sequence[str]) -> TaskScore:
+        """Show the instruction and start scoring.
+
+        Raises
+        ------
+        RuntimeError
+            If a task is already active.
+        ValueError
+            If the path does not name a leaf of the device's menu.
+        """
+        if self._active is not None:
+            raise RuntimeError("a task is already active; call poll() to finish")
+        self._validate_path(path)
+        self._show_instruction("Select " + " > ".join(path))
+        score = TaskScore(path=tuple(path), started_at=self.device.now)
+        self._active = score
+        self.scores.append(score)
+        self._events_seen = len(self.logger.events)
+        return score
+
+    def poll(self) -> bool:
+        """Consume new RF events; returns ``True`` when the task finished.
+
+        Call periodically (or after running the simulation) — exactly how
+        a PC event loop would service its socket.
+        """
+        if self._active is None:
+            return True
+        score = self._active
+        new_events = self.logger.events[self._events_seen:]
+        self._events_seen = len(self.logger.events)
+        for logged in new_events:
+            event = logged.event
+            if event.kind == "HighlightChanged":
+                score.highlight_changes += 1
+            elif event.kind == "EntryActivated":
+                if tuple(event.path) == score.path:
+                    score.completed_at = event.time
+                    self._active = None
+                    self._show_instruction("Done. Please wait.")
+                    return True
+                score.wrong_activations += 1
+        return False
+
+    def abort_task(self) -> None:
+        """Abandon the active task (kept in scores as incomplete)."""
+        self._active = None
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Host-side study summary across all administered tasks."""
+        completed = [s for s in self.scores if s.completed]
+        return {
+            "n_tasks": len(self.scores),
+            "n_completed": len(completed),
+            "mean_task_s": (
+                sum(s.duration_s for s in completed) / len(completed)
+                if completed
+                else 0.0
+            ),
+            "total_wrong_activations": sum(
+                s.wrong_activations for s in self.scores
+            ),
+            "rf_events": len(self.logger.events),
+            "rf_mean_latency_s": self.logger.mean_latency(),
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _validate_path(self, path: Sequence[str]) -> None:
+        node: MenuEntry = self.device.firmware.cursor.root
+        for label in path:
+            node = node.child(label)  # KeyError -> clear failure
+        if not node.is_leaf:
+            raise ValueError(f"path {tuple(path)} ends on a submenu, not a leaf")
+
+    def _show_instruction(self, text: str) -> None:
+        """Send the instruction downlink over RF (twice, for loss cover)."""
+        host = self.device.board.rf_host
+        payload = b"SHOW:" + text.encode("latin-1", errors="replace")
+        host.send(payload)
+        host.send(payload)  # the link is lossy and has no ACKs

@@ -1,0 +1,37 @@
+"""Simulated humans: hand motor model, gloves, Fitts's law, users, tasks."""
+
+from repro.interaction.fitts import (
+    FittsFit,
+    fit_fitts,
+    index_of_difficulty,
+    movement_time,
+    throughput,
+)
+from repro.interaction.gloves import GLOVES, Glove
+from repro.interaction.hand import Hand, minimum_jerk
+from repro.interaction.tasks import fitts_ladder, hierarchical_tasks, random_targets
+from repro.interaction.user import (
+    DiscoveryResult,
+    MotorProfile,
+    SimulatedUser,
+    TrialResult,
+)
+
+__all__ = [
+    "FittsFit",
+    "fit_fitts",
+    "index_of_difficulty",
+    "movement_time",
+    "throughput",
+    "GLOVES",
+    "Glove",
+    "Hand",
+    "minimum_jerk",
+    "fitts_ladder",
+    "hierarchical_tasks",
+    "random_targets",
+    "DiscoveryResult",
+    "MotorProfile",
+    "SimulatedUser",
+    "TrialResult",
+]

@@ -1,0 +1,107 @@
+"""Fitts's law utilities.
+
+The paper's first open question (§7) is whether distance-based scrolling
+is faster than other techniques, noting "so far, we only know that Fitt's
+Law holds for scrolling" (citing Hinckley et al.'s quantitative analysis
+of scrolling techniques).  These helpers compute the index of difficulty,
+predict movement times, and regress measured (ID, MT) pairs — used both
+*inside* the simulated user (to generate plausible movement times) and
+*outside* (to verify that the closed-loop system still obeys the law).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signal.fitting import r_squared
+
+__all__ = [
+    "index_of_difficulty",
+    "movement_time",
+    "FittsFit",
+    "fit_fitts",
+    "throughput",
+]
+
+
+def index_of_difficulty(distance: float, width: float) -> float:
+    """Shannon-formulation ID in bits: ``log2(D/W + 1)``.
+
+    ``distance`` and ``width`` share any unit (we use cm); ``width`` is
+    the full target tolerance (twice the island half-width).
+    """
+    if width <= 0:
+        raise ValueError(f"target width must be positive, got {width}")
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    return math.log2(distance / width + 1.0)
+
+
+def movement_time(a: float, b: float, distance: float, width: float) -> float:
+    """Predicted movement time ``MT = a + b * ID`` in seconds."""
+    return a + b * index_of_difficulty(distance, width)
+
+
+@dataclass(frozen=True)
+class FittsFit:
+    """Regression of movement time on index of difficulty.
+
+    Attributes
+    ----------
+    a:
+        Intercept, seconds — non-informational motor overhead.
+    b:
+        Slope, seconds per bit.
+    r2:
+        Goodness of fit.
+    n:
+        Number of (ID, MT) pairs.
+    """
+
+    a: float
+    b: float
+    r2: float
+    n: int
+
+    def predict(self, id_bits: float) -> float:
+        """Movement time predicted at an ID."""
+        return self.a + self.b * id_bits
+
+    @property
+    def bandwidth_bits_per_s(self) -> float:
+        """Information throughput 1/b (Fitts's original index of performance)."""
+        return math.inf if self.b == 0 else 1.0 / self.b
+
+
+def fit_fitts(ids_bits: np.ndarray, times_s: np.ndarray) -> FittsFit:
+    """Least-squares fit of ``MT = a + b * ID``.
+
+    Raises
+    ------
+    ValueError
+        With fewer than 3 points or a degenerate ID spread.
+    """
+    ids = np.asarray(ids_bits, dtype=float)
+    times = np.asarray(times_s, dtype=float)
+    if ids.shape != times.shape:
+        raise ValueError("ids and times must have the same shape")
+    if ids.size < 3:
+        raise ValueError("need at least 3 points for a Fitts regression")
+    if float(np.ptp(ids)) < 1e-9:
+        raise ValueError("IDs are all equal; regression is degenerate")
+    design = np.column_stack([np.ones_like(ids), ids])
+    coeffs, _, _, _ = np.linalg.lstsq(design, times, rcond=None)
+    a, b = float(coeffs[0]), float(coeffs[1])
+    return FittsFit(a=a, b=b, r2=r_squared(times, design @ coeffs), n=ids.size)
+
+
+def throughput(ids_bits: np.ndarray, times_s: np.ndarray) -> float:
+    """Mean-of-means throughput in bits/s (ISO 9241-9 style)."""
+    ids = np.asarray(ids_bits, dtype=float)
+    times = np.asarray(times_s, dtype=float)
+    if np.any(times <= 0):
+        raise ValueError("movement times must be positive")
+    return float(np.mean(ids / times))

@@ -1,0 +1,118 @@
+"""Glove models — the paper's headline application constraint.
+
+DistScroll "is especially designed for situations in which the user wears
+gloves that renders direct input too difficult" (Abstract): arctic/alpine
+clothing as in Rantanen's snowmobile suit, or protective gloves in bio-
+and chemical laboratories (Section 5.2).
+
+A :class:`Glove` scales the simulated user's motor parameters.  The key
+asymmetry the paper exploits: gloves devastate *touch/stylus precision*
+and make *small buttons* unreliable, but barely affect *gross arm
+movement* — which is all DistScroll needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Glove", "GLOVES"]
+
+
+@dataclass(frozen=True)
+class Glove:
+    """Motor-performance modifiers of one glove type.
+
+    Attributes
+    ----------
+    name:
+        Label used in experiment tables.
+    thickness_mm:
+        Shell thickness — drives the other defaults in the presets.
+    tremor_factor:
+        Multiplier on hand tremor RMS (stiff gloves damp tremor slightly;
+        bulky mittens add instability).
+    movement_time_factor:
+        Multiplier on gross arm movement times (≈1 even for thick gloves).
+    button_miss_probability:
+        Chance that a press of a *normal-size* button fails (slides off,
+        not enough force, wrong button edge).  Scaled down for large
+        buttons by the button's area.
+    touch_error_factor:
+        Multiplier on touch/stylus pointing error — the reason touch
+        interfaces fail with gloves.
+    dexterity_time_factor:
+        Multiplier on fine-motor action times (button acquisition,
+        stylus taps, wheel pinching).
+    """
+
+    name: str
+    thickness_mm: float
+    tremor_factor: float = 1.0
+    movement_time_factor: float = 1.0
+    button_miss_probability: float = 0.0
+    touch_error_factor: float = 1.0
+    dexterity_time_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.thickness_mm < 0:
+            raise ValueError("thickness must be >= 0")
+        if not 0.0 <= self.button_miss_probability <= 1.0:
+            raise ValueError("button_miss_probability must be in [0,1]")
+        for factor in (
+            self.tremor_factor,
+            self.movement_time_factor,
+            self.touch_error_factor,
+            self.dexterity_time_factor,
+        ):
+            if factor <= 0:
+                raise ValueError("factors must be positive")
+
+    def effective_miss_probability(self, button_area_mm2: float) -> float:
+        """Miss probability adjusted for button size.
+
+        The presets are calibrated for a 40 mm² button; a large 250 mm²
+        pad (the single-large-button layout) is much more forgiving.
+        """
+        reference_area = 40.0
+        scale = min(reference_area / max(button_area_mm2, 1.0), 1.0)
+        return min(self.button_miss_probability * scale, 1.0)
+
+
+#: Glove presets spanning the paper's application areas.
+GLOVES: dict[str, Glove] = {
+    "none": Glove("bare hands", thickness_mm=0.0),
+    "latex": Glove(
+        "thin latex (bio lab)",
+        thickness_mm=0.2,
+        tremor_factor=1.0,
+        button_miss_probability=0.01,
+        touch_error_factor=1.15,
+        dexterity_time_factor=1.05,
+    ),
+    "chemical": Glove(
+        "chemical protection",
+        thickness_mm=1.5,
+        tremor_factor=0.95,
+        button_miss_probability=0.06,
+        touch_error_factor=1.8,
+        dexterity_time_factor=1.25,
+    ),
+    "winter": Glove(
+        "winter gloves",
+        thickness_mm=3.0,
+        tremor_factor=0.9,
+        movement_time_factor=1.05,
+        button_miss_probability=0.12,
+        touch_error_factor=2.6,
+        dexterity_time_factor=1.45,
+    ),
+    "arctic": Glove(
+        "arctic mittens",
+        thickness_mm=8.0,
+        tremor_factor=1.25,
+        movement_time_factor=1.12,
+        button_miss_probability=0.30,
+        touch_error_factor=5.0,
+        dexterity_time_factor=2.1,
+    ),
+}

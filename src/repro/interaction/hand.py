@@ -1,0 +1,173 @@
+"""Arm/hand plant: how the holding hand actually moves the device.
+
+The DistScroll is positioned by moving the whole device along the line
+between hand and body (Figure 1).  Human point-to-point arm movements are
+well described by **minimum-jerk trajectories** (Flash & Hogan 1985):
+smooth bell-shaped velocity profiles between rest points.  On top of the
+voluntary trajectory rides **physiological tremor** — a small 6–12 Hz
+oscillation whose amplitude grows with arm extension and with fatigue, and
+which gloves/clothing dampen or (for heavy mittens) amplify.
+
+The :class:`Hand` advances on the shared simulator and writes the current
+true distance into the board pose each update, closing the physical loop:
+firmware reads what the hand does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.kernel import PeriodicTask, Simulator
+
+__all__ = ["minimum_jerk", "Hand"]
+
+
+def minimum_jerk(tau: float) -> float:
+    """The minimum-jerk position profile on normalized time [0, 1].
+
+    ``s(τ) = 10τ³ − 15τ⁴ + 6τ⁵`` — zero velocity and acceleration at both
+    ends, peak velocity at the midpoint.
+    """
+    tau = min(max(tau, 0.0), 1.0)
+    return tau**3 * (10.0 - 15.0 * tau + 6.0 * tau * tau)
+
+
+class Hand:
+    """The hand holding the device, simulated at a fixed update rate.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    write_pose:
+        Callback receiving the current true distance (cm); normally
+        ``lambda d: board.set_pose(distance_cm=d)``.
+    start_cm:
+        Initial rest distance.
+    tremor_rms_cm:
+        RMS amplitude of physiological tremor at the hand (≈0.05–0.15 cm
+        for a healthy adult holding a light object).
+    tremor_hz:
+        Center frequency of the tremor band.
+    update_hz:
+        Pose update rate (well above the firmware and tremor rates).
+    rng:
+        Noise generator; ``None`` disables tremor and endpoint noise.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        write_pose: Callable[[float], None],
+        start_cm: float = 20.0,
+        tremor_rms_cm: float = 0.08,
+        tremor_hz: float = 9.0,
+        update_hz: float = 120.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._sim = sim
+        self._write_pose = write_pose
+        self._rng = rng
+        self.tremor_rms_cm = float(tremor_rms_cm)
+        self.tremor_hz = float(tremor_hz)
+        self._update_period = 1.0 / float(update_hz)
+
+        self._rest_cm = float(start_cm)
+        self._move_from = float(start_cm)
+        self._move_to = float(start_cm)
+        self._move_start = 0.0
+        self._move_duration = 0.0
+
+        self._tremor_state = 0.0
+        self._tremor_phase = 0.0
+        self.total_path_cm = 0.0
+        #: Accumulated biomechanical effort (arbitrary fatigue units):
+        #: holding the arm extended costs per-second effort growing with
+        #: extension; moving adds effort per cm of travel.  A proxy for
+        #: the fatigue question the paper raises about tilt interfaces
+        #: and for the §7 range question.
+        self.fatigue_units = 0.0
+        self._relaxed_cm = 14.0
+        self._last_position = float(start_cm)
+
+        self._task = PeriodicTask(
+            sim, self._update_period, self._update, phase=0.0
+        )
+        self._write_pose(self._rest_cm)
+
+    # ------------------------------------------------------------------
+    # voluntary movement
+    # ------------------------------------------------------------------
+    def move_to(self, target_cm: float, duration_s: float) -> None:
+        """Begin a minimum-jerk reach to ``target_cm`` over ``duration_s``.
+
+        A new command preempts any movement in flight, starting from the
+        current (possibly mid-flight) position — which is how humans chain
+        corrective submovements.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        self._move_from = self.position(include_tremor=False)
+        self._move_to = float(target_cm)
+        self._move_start = self._sim.now
+        self._move_duration = float(duration_s)
+        self._rest_cm = float(target_cm)
+
+    @property
+    def is_moving(self) -> bool:
+        """Whether a voluntary reach is still in flight."""
+        return self._sim.now < self._move_start + self._move_duration
+
+    @property
+    def target_cm(self) -> float:
+        """The current voluntary movement endpoint."""
+        return self._move_to
+
+    def position(self, include_tremor: bool = True) -> float:
+        """True hand distance right now."""
+        if self._move_duration <= 0:
+            voluntary = self._rest_cm
+        else:
+            tau = (self._sim.now - self._move_start) / self._move_duration
+            s = minimum_jerk(tau)
+            voluntary = self._move_from + (self._move_to - self._move_from) * s
+        if include_tremor:
+            return voluntary + self._tremor_state
+        return voluntary
+
+    def stop(self) -> None:
+        """Halt the hand updates (end of a session)."""
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _update(self) -> None:
+        self._advance_tremor()
+        position = self.position()
+        travel = abs(position - self._last_position)
+        self.total_path_cm += travel
+        extension = max(position - self._relaxed_cm, 0.0) / self._relaxed_cm
+        holding_cost = (0.25 + extension) * self._update_period
+        self.fatigue_units += holding_cost + 0.06 * travel
+        self._last_position = position
+        self._write_pose(max(position, 0.5))
+
+    def _advance_tremor(self) -> None:
+        if self._rng is None or self.tremor_rms_cm <= 0.0:
+            self._tremor_state = 0.0
+            return
+        # A noisy oscillator: sinusoid with phase-jittered frequency plus
+        # a small broadband component — matches the 6–12 Hz tremor band.
+        dt = self._update_period
+        self._tremor_phase += (
+            2.0 * math.pi * self.tremor_hz * dt * (1.0 + self._rng.normal(0.0, 0.1))
+        )
+        periodic = math.sin(self._tremor_phase)
+        broadband = self._rng.normal(0.0, 0.6)
+        self._tremor_state = self.tremor_rms_cm * (
+            0.8 * periodic + 0.45 * broadband
+        )

@@ -1,0 +1,117 @@
+"""Model of the Analog Devices ADXL311JE two-axis accelerometer.
+
+The DistScroll add-on board carries an ADXL311 (Section 4.3).  In the
+paper's experiments it is *unused*, but it is included "to reproduce
+results published by others" — which is exactly what we use it for: the
+tilt-scrolling baselines (Rock'n'Scroll, TiltText-style rate control) read
+this model.
+
+The ADXL311 outputs two ratiometric analog voltages proportional to the
+acceleration along its X and Y axes, including the gravity component, so a
+static tilt shows up as a DC offset.  Datasheet figures: sensitivity
+~174 mV/g at Vs=3 V (we scale to the 5 V Smart-Its supply), zero-g output
+at Vs/2, noise density ~300 µg/√Hz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ADXL311Params", "ADXL311", "GRAVITY_G"]
+
+#: Standard gravity in g units (by definition).
+GRAVITY_G = 1.0
+
+
+@dataclass(frozen=True)
+class ADXL311Params:
+    """Electrical parameters of an ADXL311 specimen.
+
+    Attributes
+    ----------
+    sensitivity_v_per_g:
+        Output change per g of acceleration (scaled for 5 V supply).
+    zero_g_voltage:
+        Output at 0 g (nominally mid-supply).
+    noise_rms_g:
+        RMS noise in g over the device bandwidth.
+    range_g:
+        Full-scale range; output clips beyond ±range.
+    """
+
+    sensitivity_v_per_g: float = 0.290
+    zero_g_voltage: float = 2.5
+    noise_rms_g: float = 0.002
+    range_g: float = 2.0
+
+
+@dataclass
+class ADXL311:
+    """Simulated two-axis accelerometer sensing tilt plus motion.
+
+    The caller supplies the device's orientation as pitch and roll angles
+    (radians) and optionally linear acceleration in the device frame; the
+    model projects gravity onto the X/Y axes and converts to voltages.
+
+    Parameters
+    ----------
+    params:
+        Electrical parameters.
+    rng:
+        Random generator for noise (``None`` → ideal noise-free part).
+    """
+
+    params: ADXL311Params = field(default_factory=ADXL311Params)
+    rng: Optional[np.random.Generator] = None
+
+    def acceleration_g(
+        self,
+        pitch_rad: float,
+        roll_rad: float,
+        linear_accel_g: tuple[float, float] = (0.0, 0.0),
+    ) -> tuple[float, float]:
+        """True accelerations (g) on the X and Y axes for a given attitude.
+
+        Pitch tilts the device around its X axis (moves gravity onto Y);
+        roll tilts around Y (moves gravity onto X).  Linear acceleration is
+        added in the device frame.
+        """
+        gx = GRAVITY_G * math.sin(roll_rad) + linear_accel_g[0]
+        gy = GRAVITY_G * math.sin(pitch_rad) + linear_accel_g[1]
+        limit = self.params.range_g
+        return (
+            float(np.clip(gx, -limit, limit)),
+            float(np.clip(gy, -limit, limit)),
+        )
+
+    def output_voltages(
+        self,
+        pitch_rad: float,
+        roll_rad: float,
+        linear_accel_g: tuple[float, float] = (0.0, 0.0),
+    ) -> tuple[float, float]:
+        """Analog X/Y output voltages, with noise if an RNG is attached."""
+        gx, gy = self.acceleration_g(pitch_rad, roll_rad, linear_accel_g)
+        if self.rng is not None:
+            gx += self.rng.normal(0.0, self.params.noise_rms_g)
+            gy += self.rng.normal(0.0, self.params.noise_rms_g)
+        to_volts = self.params.sensitivity_v_per_g
+        vx = self.params.zero_g_voltage + gx * to_volts
+        vy = self.params.zero_g_voltage + gy * to_volts
+        return float(vx), float(vy)
+
+    def tilt_from_voltages(self, vx: float, vy: float) -> tuple[float, float]:
+        """Invert: estimate (roll, pitch) radians from output voltages.
+
+        Values outside ±1 g are clamped before the arcsine, as real firmware
+        must do.
+        """
+        gx = (vx - self.params.zero_g_voltage) / self.params.sensitivity_v_per_g
+        gy = (vy - self.params.zero_g_voltage) / self.params.sensitivity_v_per_g
+        roll = math.asin(float(np.clip(gx, -1.0, 1.0)))
+        pitch = math.asin(float(np.clip(gy, -1.0, 1.0)))
+        return roll, pitch

@@ -1,0 +1,181 @@
+"""Dual-sensor fusion — putting the DistScroll's second ranger to work.
+
+The prototype carries **two** distance-sensor slots: "the prototypical
+design comprises two distance sensors (only one is used in our
+experiments so far)" (§4).  This module implements the obvious reason to
+fit a second one: mounted recessed by a few centimeters behind the
+primary (a ``baseline_cm`` longitudinal offset), it sees ``d + baseline``
+when the primary sees ``d`` — and that breaks the fold-back ambiguity:
+
+* **in range** — both sensors' in-range inversions agree up to the known
+  baseline;
+* **primary folded (d < 4 cm)** — the primary's in-range inversion
+  produces a bogus alias, but the recessed sensor still operates on its
+  monotone branch (for ``d > 4 - baseline``), so the inversions
+  *disagree* by far more than noise, and the true distance is recovered
+  from the recessed sensor alone.
+
+The :class:`DualRangeFinder` performs this consistency check per sample
+pair and reports a fused distance estimate with a fold-back flag — the
+firmware's ``dual_sensor`` mode consumes it in place of the heuristic
+fold-back latch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sensors.gp2d120 import GP2D120, SENSOR_MAX_CM
+
+__all__ = ["FusedReading", "DualRangeFinder"]
+
+
+@dataclass(frozen=True)
+class FusedReading:
+    """One fused range estimate.
+
+    Attributes
+    ----------
+    distance_cm:
+        Best estimate of the primary sensor's distance to the body.
+    in_foldback:
+        Whether the primary sensor is operating below its 4 cm peak.
+    valid:
+        Whether any estimate could be produced (both sensors out of
+        range → ``False``).
+    disagreement_cm:
+        Absolute difference between the two in-range inversions (large
+        values signal the fold-back or a corrupted reading).
+    """
+
+    distance_cm: float
+    in_foldback: bool
+    valid: bool
+    disagreement_cm: float
+
+
+class DualRangeFinder:
+    """Consistency-checking fusion of the primary and recessed sensors.
+
+    Parameters
+    ----------
+    primary, recessed:
+        The two GP2D120 specimens.
+    baseline_cm:
+        How much farther the recessed sensor sits from the target; must
+        be positive and large enough that the recessed sensor stays on
+        its monotone branch through the primary's usable fold-back
+        (≥ ~2.5 cm in practice).
+    tolerance_cm:
+        Maximum inversion disagreement still considered "consistent".
+        Should comfortably exceed combined sensor noise mapped through
+        the curve (~0.5–1 cm mid-range).
+    """
+
+    def __init__(
+        self,
+        primary: GP2D120,
+        recessed: GP2D120,
+        baseline_cm: float = 3.0,
+        tolerance_cm: float = 1.5,
+    ) -> None:
+        if baseline_cm <= 0:
+            raise ValueError(f"baseline must be positive, got {baseline_cm}")
+        if tolerance_cm <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance_cm}")
+        self.primary = primary
+        self.recessed = recessed
+        self.baseline_cm = float(baseline_cm)
+        self.tolerance_cm = float(tolerance_cm)
+
+    def fuse_voltages(self, v_primary: float, v_recessed: float) -> FusedReading:
+        """Fuse one simultaneous pair of output voltages."""
+        d_primary = self._invert(self.primary, v_primary)
+        d_recessed_raw = self._invert(self.recessed, v_recessed)
+        d_recessed = (
+            d_recessed_raw - self.baseline_cm
+            if d_recessed_raw is not None
+            else None
+        )
+
+        if d_primary is not None and d_recessed is not None:
+            disagreement = abs(d_primary - d_recessed)
+            if disagreement <= self.tolerance_cm:
+                # Consistent: both on the monotone branch.  Weight the
+                # primary higher (it is the sensor the mapping is built
+                # on); the recessed one mainly vouches for it.
+                fused = 0.75 * d_primary + 0.25 * d_recessed
+                return FusedReading(
+                    distance_cm=float(fused),
+                    in_foldback=False,
+                    valid=True,
+                    disagreement_cm=float(disagreement),
+                )
+            # Inconsistent: the primary has folded back (or glinted).
+            # The recessed sensor is the trustworthy one.
+            return FusedReading(
+                distance_cm=float(d_recessed),
+                in_foldback=True,
+                valid=True,
+                disagreement_cm=float(disagreement),
+            )
+
+        if d_recessed is not None:
+            # Primary out of its output span entirely (saturated or
+            # floored) while the recessed sensor still ranges.
+            return FusedReading(
+                distance_cm=float(d_recessed),
+                in_foldback=d_recessed < self.primary.params.peak_distance_cm,
+                valid=True,
+                disagreement_cm=float("inf"),
+            )
+
+        if d_primary is not None:
+            # Recessed out of range (target beyond ~30-baseline cm for it
+            # is impossible since it sees farther; this happens only when
+            # its beam misses).  Trust the primary, cannot rule out fold.
+            return FusedReading(
+                distance_cm=float(d_primary),
+                in_foldback=False,
+                valid=True,
+                disagreement_cm=float("inf"),
+            )
+
+        return FusedReading(
+            distance_cm=float("nan"),
+            in_foldback=False,
+            valid=False,
+            disagreement_cm=float("inf"),
+        )
+
+    def fuse(self, time_s: float, true_distance_cm: float) -> FusedReading:
+        """Sample both sensors at their physical offsets and fuse.
+
+        Convenience for tests/experiments; the firmware path goes through
+        the ADC instead.
+        """
+        v_primary = self.primary.output_voltage(time_s, true_distance_cm)
+        v_recessed = self.recessed.output_voltage(
+            time_s, true_distance_cm + self.baseline_cm
+        )
+        return self.fuse_voltages(v_primary, v_recessed)
+
+    def usable_foldback_floor_cm(self) -> float:
+        """Smallest primary distance the fusion can still resolve.
+
+        Set by the recessed sensor's own 4 cm peak: below
+        ``peak - baseline`` both sensors are folded and fusion fails.
+        """
+        return max(
+            self.recessed.params.peak_distance_cm - self.baseline_cm, 0.0
+        )
+
+    def _invert(self, sensor: GP2D120, voltage: float):
+        """In-range inversion, or ``None`` outside the monotone span."""
+        try:
+            distance = sensor.distance_for_voltage(voltage)
+        except ValueError:
+            return None
+        if distance > SENSOR_MAX_CM:
+            return None
+        return distance

@@ -1,0 +1,157 @@
+"""Reflective surfaces and ambient-light conditions seen by the IR sensor.
+
+Section 4.2 of the paper stresses two properties of the Sharp GP2D120 that
+our model must reproduce:
+
+* the colour (reflectivity) of the object in front of the sensor "does
+  nearly not matter" — the triangulation principle measures the *position*
+  of the reflected spot, not its intensity, so ordinary clothing of any
+  colour yields the same curve;
+* "potentially problematic could be reflective surfaces with clear
+  boundaries between the parts of the surface" — specular patches can
+  deflect the emitted beam and corrupt individual measurements.
+
+A :class:`Surface` therefore contributes a *small* gain perturbation plus,
+for pathological surfaces, a probability of producing a corrupted reading.
+:class:`AmbientLight` models sunlight/indoor conditions; the GP2D120
+modulates its emitter so ambient light only adds a little noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Surface", "AmbientLight", "CLOTHING", "AMBIENT_CONDITIONS"]
+
+
+@dataclass(frozen=True)
+class Surface:
+    """An object/material in front of the distance sensor.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label ("black fleece", "mirror patchwork", ...).
+    reflectivity:
+        Diffuse reflectivity in [0, 1].  Affects signal strength, which for
+        a triangulating sensor translates into only a tiny gain change and a
+        slightly earlier far-range cutoff for very dark materials.
+    specularity:
+        Fraction of specular (mirror-like) reflection in [0, 1].  High
+        specularity with sharp boundaries deflects the beam.
+    boundary_density:
+        How many reflectivity discontinuities per cm the beam spot crosses;
+        combined with specularity this drives the corrupted-reading rate.
+    """
+
+    name: str
+    reflectivity: float = 0.7
+    specularity: float = 0.0
+    boundary_density: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reflectivity <= 1.0:
+            raise ValueError(f"reflectivity must be in [0,1]: {self.reflectivity}")
+        if not 0.0 <= self.specularity <= 1.0:
+            raise ValueError(f"specularity must be in [0,1]: {self.specularity}")
+        if self.boundary_density < 0:
+            raise ValueError(
+                f"boundary_density must be >= 0: {self.boundary_density}"
+            )
+
+    @property
+    def gain_factor(self) -> float:
+        """Multiplicative voltage gain relative to the reference surface.
+
+        The GP2D120 datasheet shows under ~5 % output difference between
+        white paper (90 % reflectivity) and gray paper (18 %); we linearize
+        that insensitivity around the 70 %-reflectivity reference.
+        """
+        return 1.0 + 0.06 * (self.reflectivity - 0.7)
+
+    @property
+    def corruption_probability(self) -> float:
+        """Per-sample probability of a beam-deflection corrupted reading."""
+        raw = self.specularity * min(self.boundary_density, 2.0) * 0.35
+        return min(raw, 0.9)
+
+    @property
+    def max_range_cm(self) -> float:
+        """Farthest distance still measurable on this surface, in cm.
+
+        The datasheet shows even 18 %-reflectance gray paper holds the full
+        range; only near-black materials (below 8 %) lose the far end.
+        """
+        if self.reflectivity >= 0.08:
+            return 30.0
+        return 30.0 - 10.0 * (0.08 - self.reflectivity) / 0.08
+
+
+@dataclass(frozen=True)
+class AmbientLight:
+    """Ambient illumination around the sensor.
+
+    Attributes
+    ----------
+    name:
+        Label ("indoor", "sunlight", ...).
+    illuminance_lux:
+        Approximate scene illuminance.
+    """
+
+    name: str
+    illuminance_lux: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.illuminance_lux < 0:
+            raise ValueError(
+                f"illuminance must be >= 0: {self.illuminance_lux}"
+            )
+
+    @property
+    def noise_factor(self) -> float:
+        """Multiplier on the sensor's base noise floor.
+
+        The modulated emitter suppresses ambient light almost entirely;
+        even direct sunlight only roughly doubles the noise.
+        """
+        return 1.0 + self.illuminance_lux / 100_000.0
+
+
+#: Clothing surfaces used in the paper's verification "with different
+#: clothing as surfaces in front of the sensor".
+CLOTHING: dict[str, Surface] = {
+    "white_shirt": Surface("white cotton shirt", reflectivity=0.90),
+    "gray_fleece": Surface("gray fleece", reflectivity=0.45),
+    "black_jacket": Surface("black jacket", reflectivity=0.12),
+    "blue_jeans": Surface("blue denim", reflectivity=0.35),
+    "red_sweater": Surface("red wool sweater", reflectivity=0.55),
+    "lab_coat": Surface("white lab coat", reflectivity=0.85),
+    "parka": Surface("insulated parka shell", reflectivity=0.60, specularity=0.15),
+    "hi_vis_vest": Surface(
+        "high-visibility vest with retroreflective stripes",
+        reflectivity=0.80,
+        specularity=0.70,
+        boundary_density=1.2,
+    ),
+    "mirror_patchwork": Surface(
+        "patchwork of mirror tiles",
+        reflectivity=0.95,
+        specularity=0.95,
+        boundary_density=2.0,
+    ),
+}
+
+#: Light conditions used for the "verified in different light conditions"
+#: sweep of Section 4.2.
+AMBIENT_CONDITIONS: dict[str, AmbientLight] = {
+    "dark": AmbientLight("dark room", illuminance_lux=5.0),
+    "indoor": AmbientLight("indoor office", illuminance_lux=300.0),
+    "bright_indoor": AmbientLight("bright lab", illuminance_lux=1500.0),
+    "overcast": AmbientLight("outdoor overcast", illuminance_lux=10_000.0),
+    "sunlight": AmbientLight("direct sunlight", illuminance_lux=80_000.0),
+}
+
+#: The reference surface implied by the datasheet curve.
+REFERENCE_SURFACE = Surface("reference (70% diffuse)", reflectivity=0.7)
+REFERENCE_LIGHT = AmbientLight("reference indoor", illuminance_lux=300.0)

@@ -1,0 +1,188 @@
+"""Streaming signal filters used by the simulated firmware.
+
+The PIC firmware in the paper smooths the raw ADC readings before mapping
+them to menu entries (a noisy reading flickering between two islands would
+make the selection jump).  These classes are small stateful filters suitable
+for sample-at-a-time use inside the firmware loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+__all__ = [
+    "ExponentialMovingAverage",
+    "MedianFilter",
+    "MovingAverage",
+    "HysteresisQuantizer",
+    "RateLimiter",
+]
+
+
+class ExponentialMovingAverage:
+    """First-order IIR low-pass filter: ``y += alpha * (x - y)``.
+
+    ``alpha`` in (0, 1]; alpha=1 passes the signal through unchanged.
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current filter output (``None`` before the first sample)."""
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Feed one sample, return the filtered value."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (float(sample) - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._value = None
+
+
+class MovingAverage:
+    """Simple boxcar average over the last ``window`` samples."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = int(window)
+        self._buffer: deque[float] = deque(maxlen=self._window)
+        self._sum = 0.0
+
+    def update(self, sample: float) -> float:
+        """Feed one sample, return the mean of the current window."""
+        sample = float(sample)
+        if len(self._buffer) == self._window:
+            self._sum -= self._buffer[0]
+        self._buffer.append(sample)
+        self._sum += sample
+        return self._sum / len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window has filled up."""
+        return len(self._buffer) == self._window
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._buffer.clear()
+        self._sum = 0.0
+
+
+class MedianFilter:
+    """Median over the last ``window`` samples — robust to IR glints.
+
+    The GP2D120 occasionally produces spike readings on specular surfaces
+    (Section 4.2 of the paper); a short median kills isolated spikes without
+    adding much lag.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._buffer: deque[float] = deque(maxlen=int(window))
+
+    def update(self, sample: float) -> float:
+        """Feed one sample, return the windowed median."""
+        self._buffer.append(float(sample))
+        ordered = sorted(self._buffer)
+        n = len(ordered)
+        middle = n // 2
+        if n % 2 == 1:
+            return ordered[middle]
+        return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._buffer.clear()
+
+
+class HysteresisQuantizer:
+    """Quantize a continuous signal to integer levels with hysteresis.
+
+    The current level only changes when the input moves more than
+    ``margin`` past a level boundary.  This is the generic mechanism behind
+    the paper's "islands": without hysteresis a reading sitting on a
+    boundary would flicker between adjacent entries.
+    """
+
+    def __init__(self, step: float, margin: float) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if not 0 <= margin < step / 2:
+            raise ValueError(
+                f"margin must be in [0, step/2), got {margin} for step {step}"
+            )
+        self.step = float(step)
+        self.margin = float(margin)
+        self._level: Optional[int] = None
+
+    @property
+    def level(self) -> Optional[int]:
+        """Current quantized level (``None`` before the first sample)."""
+        return self._level
+
+    def update(self, value: float) -> int:
+        """Feed one sample, return the (possibly unchanged) level."""
+        if self._level is None:
+            self._level = int(round(value / self.step))
+            return self._level
+        center = self._level * self.step
+        upper = center + self.step / 2 + self.margin
+        lower = center - self.step / 2 - self.margin
+        if value > upper:
+            self._level = int(round((value - self.margin) / self.step))
+        elif value < lower:
+            self._level = int(round((value + self.margin) / self.step))
+        return self._level
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._level = None
+
+
+class RateLimiter:
+    """Limit how fast an output may track its input (slew-rate limit).
+
+    Used by the firmware's fast-scroll mode to keep the selection from
+    skipping entries faster than a human can perceive.
+    """
+
+    def __init__(self, max_rate: float) -> None:
+        if max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {max_rate}")
+        self.max_rate = float(max_rate)
+        self._value: Optional[float] = None
+        self._time: Optional[float] = None
+
+    def update(self, time: float, target: float) -> float:
+        """Advance to ``time`` and move toward ``target`` at most at max_rate."""
+        if self._value is None or self._time is None:
+            self._value = float(target)
+            self._time = float(time)
+            return self._value
+        dt = max(float(time) - self._time, 0.0)
+        self._time = float(time)
+        allowed = self.max_rate * dt
+        delta = float(target) - self._value
+        if abs(delta) <= allowed:
+            self._value = float(target)
+        else:
+            self._value += allowed if delta > 0 else -allowed
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._value = None
+        self._time = None

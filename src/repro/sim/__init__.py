@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate for the DistScroll reproduction."""
+
+from repro.sim.kernel import (
+    Event,
+    PeriodicTask,
+    Process,
+    SimulationError,
+    Simulator,
+    drain,
+)
+from repro.sim.trace import TraceChannel, Tracer
+
+__all__ = [
+    "Event",
+    "PeriodicTask",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "drain",
+    "TraceChannel",
+    "Tracer",
+]

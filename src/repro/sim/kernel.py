@@ -1,0 +1,350 @@
+"""Discrete-event simulation kernel.
+
+Every piece of the DistScroll reproduction — the sensor, the microcontroller
+firmware, the displays and the simulated user — runs on top of this kernel.
+The kernel owns a virtual clock and a priority queue of pending events;
+nothing in the library ever consults wall-clock time, so a run with a fixed
+seed is fully deterministic and reproducible.
+
+The public surface is intentionally small:
+
+* :class:`Simulator` — the event queue and clock.
+* :class:`Process` — a generator-based cooperative process (yield a delay in
+  seconds to sleep).
+* :class:`PeriodicTask` — a fixed-rate callback (e.g. an ADC sampling loop).
+
+Example
+-------
+>>> sim = Simulator(seed=7)
+>>> log = []
+>>> sim.schedule(0.5, lambda: log.append(sim.now))
+>>> sim.run_until(1.0)
+>>> log
+[0.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "SimulationError",
+    "Event",
+    "Simulator",
+    "Process",
+    "PeriodicTask",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, priority, seq)``.  The sequence number makes the
+    ordering of same-time events deterministic (FIFO within a priority),
+    which matters for reproducibility.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random generator.  Components that need
+        randomness (sensor noise, tremor, bus errors) draw from
+        :attr:`rng` — or from generators spawned via :meth:`spawn_rng` so
+        that adding a new noise consumer does not perturb existing streams.
+    start_time:
+        Initial value of the clock, in seconds.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._queue: list[Event] = []
+        self._now = float(start_time)
+        self._seq = itertools.count()
+        self._running = False
+        self._seed_seq = np.random.SeedSequence(seed)
+        self.rng: np.random.Generator = np.random.default_rng(
+            self._seed_seq.spawn(1)[0]
+        )
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # clock and RNG
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for benchmarks/tracing)."""
+        return self._event_count
+
+    def spawn_rng(self) -> np.random.Generator:
+        """Return an independent random generator.
+
+        Each call derives a child stream from the simulator's seed sequence,
+        so separate components get decorrelated but reproducible noise.
+        """
+        return np.random.default_rng(self._seed_seq.spawn(1)[0])
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may :meth:`Event.cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        return self.schedule(time - self._now, callback, priority)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._event_count += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events up to and including ``end_time``, then set the clock.
+
+        Events scheduled exactly at ``end_time`` do run.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) is before now ({self._now})"
+            )
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+        self._now = end_time
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` executed)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                return
+
+    def run_while(self, condition: Callable[[], bool], max_time: float) -> None:
+        """Run while ``condition()`` holds, but never past ``max_time``.
+
+        Useful for "run until the user finishes the task or we time out".
+        """
+        while condition() and self._queue:
+            head = self._queue[0]
+            if head.time > max_time:
+                break
+            self.step()
+        if not condition():
+            return
+        self._now = min(max(self._now, max_time), max_time)
+
+
+class Process:
+    """A cooperative process driven by a generator.
+
+    The generator yields non-negative floats: the number of simulated seconds
+    to sleep before being resumed.  Returning (or ``StopIteration``) ends the
+    process.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> ticks = []
+    >>> def body():
+    ...     for _ in range(3):
+    ...         ticks.append(sim.now)
+    ...         yield 1.0
+    >>> _ = Process(sim, body())
+    >>> sim.run()
+    >>> ticks
+    [0.0, 1.0, 2.0]
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[float, None, None],
+        start_delay: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._gen = generator
+        self._alive = True
+        self._pending: Optional[Event] = None
+        self._pending = sim.schedule(start_delay, self._resume)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process still has work pending."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Stop the process; its generator is closed."""
+        if not self._alive:
+            return
+        self._alive = False
+        if self._pending is not None:
+            self._pending.cancel()
+        self._gen.close()
+
+    def _resume(self) -> None:
+        if not self._alive:
+            return
+        try:
+            delay = next(self._gen)
+        except StopIteration:
+            self._alive = False
+            self._pending = None
+            return
+        if delay is None or delay < 0:
+            self.kill()
+            raise SimulationError(
+                f"process yielded invalid delay {delay!r}; expected >= 0"
+            )
+        self._pending = self._sim.schedule(float(delay), self._resume)
+
+
+class PeriodicTask:
+    """A callback invoked at a fixed period until stopped.
+
+    This is the backbone of every polling loop in the hardware simulation:
+    ADC sampling, firmware ticks, display refresh, battery discharge.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    period:
+        Seconds between invocations (must be > 0).
+    callback:
+        Called with no arguments each period.
+    phase:
+        Delay before the first invocation; defaults to one full period.
+    jitter:
+        Optional standard deviation of Gaussian timing jitter, in seconds.
+        Real microcontroller loops are not perfectly periodic; a small jitter
+        decorrelates sampling from user motion.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        phase: Optional[float] = None,
+        jitter: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._sim = sim
+        self._period = float(period)
+        self._callback = callback
+        self._jitter = float(jitter)
+        self._rng = sim.spawn_rng() if jitter > 0 else None
+        self._running = True
+        self._event: Optional[Event] = None
+        first = self._period if phase is None else float(phase)
+        self._event = sim.schedule(first, self._tick)
+
+    @property
+    def period(self) -> float:
+        """Nominal period in seconds."""
+        return self._period
+
+    @property
+    def running(self) -> bool:
+        """Whether the task will fire again."""
+        return self._running
+
+    def stop(self) -> None:
+        """Cancel any pending invocation and stop rescheduling."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _next_delay(self) -> float:
+        if self._rng is None:
+            return self._period
+        delay = self._period + self._rng.normal(0.0, self._jitter)
+        return max(delay, self._period * 0.1)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._event = self._sim.schedule(self._next_delay(), self._tick)
+
+
+def drain(sim: Simulator, events: Iterable[tuple[float, Callable[[], None]]]) -> None:
+    """Schedule a batch of ``(delay, callback)`` pairs and run to completion.
+
+    Convenience for tests and small scripts.
+    """
+    for delay, callback in events:
+        sim.schedule(delay, callback)
+    sim.run()

@@ -1,0 +1,135 @@
+"""Trace recording for simulation runs.
+
+A :class:`Tracer` collects timestamped records from any component that wants
+to publish what it is doing — sensor samples, firmware selections, button
+presses, display updates.  Experiments replay these traces into the series
+the paper plots; tests assert on them.
+
+Records are plain tuples ``(time, channel, value)`` so traces stay cheap to
+collect even in long runs, and can be converted to numpy arrays per channel.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+__all__ = ["Tracer", "TraceChannel"]
+
+
+class TraceChannel:
+    """A single named stream of ``(time, value)`` records."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[Any] = []
+
+    def append(self, time: float, value: Any) -> None:
+        """Record one sample."""
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, Any]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a float array."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array (object dtype if heterogeneous)."""
+        try:
+            return np.asarray(self._values, dtype=float)
+        except (TypeError, ValueError):
+            return np.asarray(self._values, dtype=object)
+
+    def last(self) -> tuple[float, Any]:
+        """The most recent ``(time, value)`` record."""
+        if not self._times:
+            raise LookupError(f"channel {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def between(self, t0: float, t1: float) -> list[tuple[float, Any]]:
+        """Records with ``t0 <= time <= t1``."""
+        return [
+            (t, v)
+            for t, v in zip(self._times, self._values)
+            if t0 <= t <= t1
+        ]
+
+    def count_changes(self) -> int:
+        """Number of times the recorded value changed between samples."""
+        changes = 0
+        previous: Any = _SENTINEL
+        for value in self._values:
+            if previous is not _SENTINEL and value != previous:
+                changes += 1
+            previous = value
+        return changes
+
+
+_SENTINEL = object()
+
+
+class Tracer:
+    """A set of named trace channels plus optional live subscribers.
+
+    Components call :meth:`record`; anything interested in live updates (for
+    example a simulated user watching the display) can :meth:`subscribe` to a
+    channel and receives ``(time, value)`` callbacks synchronously.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._channels: dict[str, TraceChannel] = {}
+        self._subscribers: dict[str, list[Callable[[float, Any], None]]] = (
+            defaultdict(list)
+        )
+
+    def channel(self, name: str) -> TraceChannel:
+        """Get (creating if needed) the channel with this name."""
+        if name not in self._channels:
+            self._channels[name] = TraceChannel(name)
+        return self._channels[name]
+
+    def record(self, name: str, time: float, value: Any) -> None:
+        """Append a record and notify subscribers.
+
+        Subscribers are notified even when recording is disabled, because
+        they model *in-simulation* observers rather than offline analysis.
+        """
+        if self.enabled:
+            self.channel(name).append(time, value)
+        for callback in self._subscribers.get(name, ()):
+            callback(time, value)
+
+    def subscribe(self, name: str, callback: Callable[[float, Any], None]) -> None:
+        """Register a live callback for a channel."""
+        self._subscribers[name].append(callback)
+
+    def unsubscribe(self, name: str, callback: Callable[[float, Any], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        try:
+            self._subscribers[name].remove(callback)
+        except ValueError:
+            pass
+
+    def channels(self) -> list[str]:
+        """Names of all channels that have been touched."""
+        return sorted(self._channels)
+
+    def get(self, name: str) -> Optional[TraceChannel]:
+        """The channel if it exists, else ``None`` (does not create)."""
+        return self._channels.get(name)
+
+    def clear(self) -> None:
+        """Drop all recorded data (subscribers stay registered)."""
+        self._channels.clear()

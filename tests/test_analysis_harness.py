@@ -1,0 +1,91 @@
+"""Tests for the stats helpers and the experiment-result harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, linear_regression, summarize
+from repro.experiments.harness import ExperimentResult
+
+
+class TestStats:
+    def test_summarize_basic(self, rng):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        summary = summarize(values, rng)
+        assert summary.n == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_summarize_single_value(self, rng):
+        summary = summarize(np.array([2.0]), rng)
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 2.0
+
+    def test_summarize_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            summarize(np.array([]), rng)
+
+    def test_bootstrap_ci_covers_truth(self, rng):
+        values = rng.normal(10.0, 1.0, size=200)
+        low, high = bootstrap_ci(values, rng)
+        assert low < 10.0 < high
+        assert high - low < 1.0
+
+    def test_linear_regression_exact(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = 2.0 + 0.5 * x
+        intercept, slope, r2 = linear_regression(x, y)
+        assert intercept == pytest.approx(2.0)
+        assert slope == pytest.approx(0.5)
+        assert r2 == pytest.approx(1.0)
+
+    def test_linear_regression_validation(self):
+        with pytest.raises(ValueError):
+            linear_regression(np.array([1.0]), np.array([1.0]))
+
+    def test_summary_row_format(self, rng):
+        summary = summarize(np.array([1.0, 2.0]), rng)
+        row = summary.row("label", unit="s")
+        assert "label" in row
+        assert "n=2" in row
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(
+            experiment_id="TEST",
+            title="demo",
+            columns=("x", "y"),
+        )
+        result.add_row(1, 2.5)
+        result.add_row(2, 3.5)
+        return result
+
+    def test_add_row_arity_checked(self):
+        result = self._result()
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_extraction(self):
+        result = self._result()
+        assert result.column("y") == [2.5, 3.5]
+        with pytest.raises(KeyError):
+            result.column("z")
+
+    def test_table_renders(self):
+        result = self._result()
+        result.note("a finding")
+        text = result.table()
+        assert "TEST" in text
+        assert "a finding" in text
+        assert "2.5" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "out" / "test.csv"
+        result.to_csv(path)
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,2.5"

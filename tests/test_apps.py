@@ -1,0 +1,169 @@
+"""Tests for the application layer: phone menu, altitude game, stocktaking."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.game import AltitudeGame, GameConfig
+from repro.apps.phonemenu import PHONE_MENU_SPEC, PhoneApp, build_phone_menu
+from repro.apps.stocktaking import (
+    ITEM_CATEGORIES,
+    StocktakingSession,
+    build_inventory_menu,
+)
+from repro.core.config import DeviceConfig
+from repro.core.menu import flatten_paths
+from repro.hardware.board import build_distscroll_board
+from repro.interaction.gloves import GLOVES
+from repro.interaction.hand import Hand
+from repro.sim.kernel import Simulator
+
+
+class TestPhoneMenu:
+    def test_menu_structure(self):
+        menu = build_phone_menu()
+        assert len(menu.children) == len(PHONE_MENU_SPEC)
+        assert menu.child("Messages").child("Inbox").is_leaf
+        assert menu.max_depth() >= 3
+
+    def test_all_leaves_reachable(self):
+        menu = build_phone_menu()
+        paths = flatten_paths(menu)
+        assert len(paths) > 25
+        assert ("Settings", "Tone settings", "Volume") in paths
+
+    def test_app_records_activations(self):
+        app = PhoneApp.create(seed=1)
+        device = app.device
+        device.hold_at(26.0)
+        device.run_for(0.5)
+        device.click("select")  # enter Messages
+        device.hold_at(26.0)
+        device.run_for(0.5)
+        device.click("select")  # activate Write message (leaf)
+        assert app.activations
+        action, path = app.last_activation()
+        assert path[0] == "Messages"
+
+    def test_instruction_display(self):
+        app = PhoneApp.create(seed=1, config=DeviceConfig(debug_display=False))
+        app.show_instruction("Select the ringing tone volume setting")
+        status = app.device.visible_status()
+        assert status[0] == "TASK:"
+        assert "Select the" in status[1]
+
+
+class TestAltitudeGame:
+    def _game(self, seed=4):
+        sim = Simulator(seed=seed)
+        board = build_distscroll_board(sim, noisy=False)
+        game = AltitudeGame(board, rng=np.random.default_rng(seed))
+        return sim, board, game
+
+    def test_altitude_tracks_distance(self):
+        sim, board, game = self._game()
+        board.set_pose(distance_cm=7.0)
+        sim.run_until(1.0)
+        near_row = game.altitude_row
+        board.set_pose(distance_cm=26.0)
+        sim.run_until(3.0)
+        far_row = game.altitude_row
+        assert far_row > near_row  # far = top of range = high fraction
+
+    def test_objects_spawn_and_scroll(self):
+        sim, board, game = self._game()
+        sim.run_until(10.0)
+        assert game.state.ticks > 200
+        assert game.state.score != 0 or game.state.collisions > 0 or (
+            len(game._objects) > 0
+        )
+
+    def test_fire_spawns_bullet(self):
+        sim, board, game = self._game()
+        sim.run_until(0.5)
+        game.fire()
+        assert game.state.shots_fired == 1
+        assert any(o[2] == "bullet" for o in game._objects)
+
+    def test_speed_buttons(self):
+        sim, board, game = self._game()
+        game.speed_up()
+        game.speed_up()
+        assert game.state.speed_level == 3
+        game.speed_up()
+        assert game.state.speed_level == 3  # clamped
+        game.speed_down()
+        assert game.state.speed_level == 2
+
+    def test_select_button_fires_via_hardware(self):
+        sim, board, game = self._game()
+        sim.run_until(0.2)
+        board.press_button("select")
+        sim.run_until(0.3)
+        board.release_button("select")
+        sim.run_until(0.4)
+        assert game.state.shots_fired >= 1
+
+    def test_game_over_after_three_collisions(self):
+        sim, board, game = self._game()
+        sim.run_until(1.0)  # let the altitude filter settle
+        game.state.collisions = 2
+        # Drop an obstacle just ahead of the aircraft so the next tick's
+        # advance lands it on the aircraft column.
+        step = game.config.base_scroll_cols_s / game.config.tick_hz
+        game._objects.append(
+            [game.config.aircraft_col + step, game.altitude_row, "obstacle"]
+        )
+        sim.run_until(sim.now + 0.1)
+        assert game.state.game_over
+        status = board.display_bottom.lines
+        assert "GAME OVER" in status[4]
+
+    def test_framebuffer_shows_aircraft(self):
+        sim, board, game = self._game()
+        sim.run_until(0.5)
+        frame = board.display_top.framebuffer
+        assert frame[game.altitude_row, game.config.aircraft_col]
+
+    def test_playable_with_hand_model(self):
+        """A waving hand steers the aircraft — the §5.2 scenario."""
+        sim, board, game = self._game()
+        hand = Hand(sim, lambda d: board.set_pose(distance_cm=d),
+                    start_cm=16.0, rng=sim.spawn_rng())
+        rows = set()
+        for i in range(8):
+            hand.move_to(10.0 + 8.0 * math.sin(i * 1.1), 0.4)
+            sim.run_until(sim.now + 0.5)
+            rows.add(game.altitude_row)
+        assert len(rows) >= 3  # the aircraft actually moved around
+
+
+class TestStocktaking:
+    def test_inventory_menu_shape(self):
+        menu = build_inventory_menu(max_count=10)
+        assert len(menu.children) == len(ITEM_CATEGORIES)
+        assert len(menu.children[0].children) == 10
+
+    def test_session_logs_all_items(self):
+        session = StocktakingSession(seed=3, n_items=3)
+        report = session.run()
+        assert report["all_logged"]
+        assert report["items_per_minute"] > 3.0
+        assert report["total_time_s"] > 0
+
+    def test_gloved_session_still_completes(self):
+        session = StocktakingSession(
+            seed=3, n_items=2, glove=GLOVES["winter"]
+        )
+        report = session.run()
+        assert report["all_logged"]
+
+    def test_item_records_populated(self):
+        session = StocktakingSession(seed=5, n_items=2)
+        session.run()
+        for item in session.items:
+            assert item.logged
+            assert item.log_time_s > 0

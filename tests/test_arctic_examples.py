@@ -1,0 +1,63 @@
+"""Tests for the arctic suit app plus smoke tests of every example."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.apps.arctic import ArcticSession, build_suit_menu
+from repro.core.menu import flatten_paths
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestArcticSession:
+    def test_suit_menu_structure(self):
+        menu = build_suit_menu()
+        assert menu.child("Heating").child("Torso").child("High").is_leaf
+        assert len(flatten_paths(menu)) > 15
+
+    def test_tasks_are_valid_paths(self):
+        session = ArcticSession(seed=3, n_tasks=4)
+        valid = set(flatten_paths(build_suit_menu()))
+        assert all(task in valid for task in session.tasks)
+
+    def test_distscroll_completes_in_mittens(self):
+        session = ArcticSession(seed=3, n_tasks=2)
+        report = session.run_distscroll()
+        assert report["tasks_completed"] == 2
+        assert not report["mechanical_parts"]
+        assert not report["garment_attached"]
+
+    def test_yoyo_report_flags(self):
+        session = ArcticSession(seed=3, n_tasks=2)
+        report = session.run_yoyo()
+        assert report["mechanical_parts"]
+        assert report["garment_attached"]
+        assert report["mean_task_s"] > 0
+
+    def test_compare_returns_both(self):
+        session = ArcticSession(seed=3, n_tasks=2)
+        reports = session.compare()
+        assert {r["technique"] for r in reports} == {"distscroll", "yoyo"}
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_runs_clean(script):
+    """Every shipped example must execute end to end."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

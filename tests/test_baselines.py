@@ -1,0 +1,179 @@
+"""Tests for the competing scrolling techniques (Related Work models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_TECHNIQUES,
+    ButtonScroller,
+    DistScrollTechnique,
+    OperatorTimes,
+    TiltScroller,
+    TouchScroller,
+    WheelScroller,
+    YoYoScroller,
+)
+from repro.interaction.gloves import GLOVES
+
+
+def _mean_time(technique, pairs, n_entries):
+    return float(
+        np.mean([technique.select(s, t, n_entries).duration_s for s, t in pairs])
+    )
+
+
+class TestInterfaceContract:
+    @pytest.mark.parametrize("name", sorted(ALL_TECHNIQUES))
+    def test_select_returns_valid_trial(self, name):
+        technique = ALL_TECHNIQUES[name](rng=np.random.default_rng(1))
+        trial = technique.select(0, 5, 10)
+        assert trial.duration_s > 0
+        assert trial.errors >= 0
+        assert trial.operations >= 0
+
+    @pytest.mark.parametrize("name", sorted(ALL_TECHNIQUES))
+    def test_out_of_range_target_rejected(self, name):
+        technique = ALL_TECHNIQUES[name](rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            technique.select(0, 10, 10)
+
+    def test_qualitative_properties_match_paper(self):
+        """The Related Work critique table: hands, gloves, mechanics."""
+        rng = np.random.default_rng(0)
+        wheel = WheelScroller(rng=rng)
+        assert not wheel.one_handed  # TUISTER needs both hands
+        assert wheel.mechanical_parts
+        yoyo = YoYoScroller(rng=rng)
+        assert yoyo.one_handed
+        assert yoyo.body_attached  # attached to the garment
+        assert yoyo.mechanical_parts  # spring + wheel
+        touch = TouchScroller(rng=rng)
+        assert not touch.glove_compatible
+        dist = DistScrollTechnique(rng=rng)
+        assert dist.one_handed
+        assert dist.glove_compatible
+        assert not getattr(dist, "mechanical_parts")
+
+
+class TestButtonScroller:
+    def test_time_linear_in_distance(self):
+        rng = np.random.default_rng(7)
+        technique = ButtonScroller(rng=rng)
+        short = np.mean(
+            [technique.select(0, 2, 40).duration_s for _ in range(20)]
+        )
+        far = np.mean(
+            [technique.select(0, 30, 40).duration_s for _ in range(20)]
+        )
+        assert far > short + 1.0
+
+    def test_single_step_is_one_press(self):
+        technique = ButtonScroller(rng=np.random.default_rng(0))
+        trial = technique.select(3, 4, 10)
+        # 1 scroll press + 1 confirm press.
+        assert trial.operations == 2
+
+    def test_auto_repeat_cheaper_than_presses_for_far(self):
+        rng = np.random.default_rng(0)
+        repeat = ButtonScroller(rng=rng, repeat_threshold=4)
+        press_only = ButtonScroller(
+            rng=np.random.default_rng(0), repeat_threshold=100
+        )
+        far_repeat = _mean_time(repeat, [(0, 30)] * 15, 40)
+        far_press = _mean_time(press_only, [(0, 30)] * 15, 40)
+        assert far_repeat < far_press
+
+
+class TestTiltScroller:
+    def test_rate_control_slower_for_precise_short_moves(self):
+        rng = np.random.default_rng(3)
+        tilt = TiltScroller(rng=rng)
+        buttons = ButtonScroller(rng=np.random.default_rng(3))
+        pairs = [(5, 6)] * 20
+        assert _mean_time(tilt, pairs, 12) > _mean_time(buttons, pairs, 12)
+
+    def test_completes_far_targets(self):
+        technique = TiltScroller(rng=np.random.default_rng(1))
+        trial = technique.select(0, 99, 100)
+        assert trial.duration_s < 60.0
+
+
+class TestWheelScroller:
+    def test_clutching_appears_for_long_scrolls(self):
+        rng = np.random.default_rng(2)
+        technique = WheelScroller(rng=rng)
+        short = technique.select(0, 5, 50)
+        long = technique.select(0, 40, 50)
+        assert long.duration_s > short.duration_s
+        assert long.operations > short.operations
+
+
+class TestTouchScroller:
+    def test_gloves_explode_error_rate(self):
+        bare_errors, arctic_errors = 0, 0
+        for seed in range(10):
+            bare = TouchScroller(rng=np.random.default_rng(seed))
+            arctic = TouchScroller(
+                rng=np.random.default_rng(seed), glove=GLOVES["arctic"]
+            )
+            bare_errors += bare.select(0, 7, 15).errors
+            arctic_errors += arctic.select(0, 7, 15).errors
+        assert arctic_errors > bare_errors
+
+    def test_flick_count_scales(self):
+        technique = TouchScroller(rng=np.random.default_rng(0))
+        near = technique.select(0, 2, 100)
+        far = technique.select(0, 80, 100)
+        assert far.operations > near.operations
+
+
+class TestYoYoScroller:
+    def test_position_control_sublinear_in_distance(self):
+        rng = np.random.default_rng(4)
+        technique = YoYoScroller(rng=rng)
+        near = _mean_time(technique, [(0, 2)] * 15, 40)
+        far = _mean_time(technique, [(0, 38)] * 15, 40)
+        # Fitts: far/near ratio far below the 19x linear ratio.
+        assert far / near < 5.0
+
+
+class TestDistScrollTechnique:
+    def test_full_stack_trial(self):
+        technique = DistScrollTechnique(rng=np.random.default_rng(5))
+        trial = technique.select(0, 8, 12)
+        assert trial.duration_s > 0.3
+        assert trial.index_of_difficulty > 0
+
+    def test_device_reused_across_trials(self):
+        technique = DistScrollTechnique(rng=np.random.default_rng(5))
+        technique.select(0, 4, 12)
+        device_a = technique._device
+        technique.select(4, 9, 12)
+        assert technique._device is device_a
+
+    def test_device_rebuilt_for_new_length(self):
+        technique = DistScrollTechnique(rng=np.random.default_rng(5))
+        technique.select(0, 4, 12)
+        device_a = technique._device
+        technique.select(0, 4, 20)
+        assert technique._device is not device_a
+
+    def test_sublinear_in_distance(self):
+        technique = DistScrollTechnique(rng=np.random.default_rng(6))
+        near = np.mean(
+            [technique.select(5, 7, 20).duration_s for _ in range(4)]
+        )
+        far = np.mean(
+            [technique.select(0, 19, 20).duration_s for _ in range(4)]
+        )
+        assert far / near < 4.0
+
+
+class TestOperatorTimes:
+    def test_glove_scaling(self):
+        times = OperatorTimes()
+        scaled = times.scaled(GLOVES["arctic"])
+        assert scaled.keypress_s > times.keypress_s
+        assert scaled.reaction_s == times.reaction_s  # cognition unaffected

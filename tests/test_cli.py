@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_RUNNERS, main
+
+
+class TestCLI:
+    def test_experiments_lists_all_ids(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENT_RUNNERS:
+            assert experiment_id in out
+
+    def test_run_fig4(self, capsys):
+        assert main(["run", "FIG4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG4" in out
+        assert "distance_cm" in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        assert "FIG5" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        path = tmp_path / "fig4.csv"
+        assert main(["run", "FIG4", "--csv", str(path)]) == 0
+        assert path.exists()
+        assert path.read_text().startswith("distance_cm")
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "specimen curve" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "cm ->" in out
+        assert "top display" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_every_registered_runner_is_callable(self):
+        """The registry must not contain stale ids (import-time check)."""
+        for experiment_id, runner in EXPERIMENT_RUNNERS.items():
+            assert callable(runner), experiment_id

@@ -1,0 +1,142 @@
+"""Tests for the DistScroll facade, event types, and RF serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.events import (
+    ButtonEvent,
+    EntryActivated,
+    HighlightChanged,
+    decode_event,
+)
+from repro.core.menu import build_menu
+
+
+class TestDeviceFacade:
+    def test_accepts_spec_dict(self):
+        device = DistScroll({"A": [], "B": []}, noisy=False)
+        assert device.highlighted_label in ("A", "B")
+
+    def test_accepts_label_list(self):
+        device = DistScroll(["A", "B", "C"], noisy=False)
+        device.hold_at(25.0)
+        device.run_for(0.3)
+        assert device.highlighted_label == "A"
+
+    def test_quickstart_docstring_flow(self):
+        device = DistScroll(
+            build_menu(
+                {"Messages": ["Inbox", "Outbox"], "Settings": ["Sound", "Display"]}
+            ),
+            seed=42,
+        )
+        device.hold_at(20.0)
+        device.run_for(0.5)
+        assert device.highlighted_label == "Messages"
+        device.press("select")
+        device.run_for(0.2)
+        device.release("select")
+        device.run_for(0.1)
+        assert device.visible_menu()[0] == ">Inbox"
+
+    def test_click_registers_once(self):
+        device = DistScroll({"A": ["a1"], "B": []}, noisy=False)
+        device.run_for(0.2)
+        device.click("select")
+        presses = [
+            e
+            for _, e in device.events()
+            if e.kind == "ButtonEvent" and e.name == "select"
+        ]
+        assert len(presses) == 1
+
+    def test_now_tracks_sim(self):
+        device = DistScroll(["A", "B"], noisy=False)
+        device.run_for(1.5)
+        assert device.now == pytest.approx(1.5)
+
+    def test_shared_simulator(self, sim):
+        device = DistScroll(["A", "B"], simulator=sim, noisy=False)
+        assert device.sim is sim
+
+    def test_events_trace_accumulates(self):
+        device = DistScroll(["A", "B", "C", "D"], noisy=False)
+        device.hold_at(25.0)
+        device.run_for(0.3)
+        device.hold_at(7.0)
+        device.run_for(0.4)
+        events = device.events()
+        assert events
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+
+
+class TestEventSerialization:
+    def test_roundtrip_highlight_changed(self):
+        event = HighlightChanged(time=1.5, index=3, label="Games", previous_index=2)
+        decoded = decode_event(event.to_bytes())
+        assert decoded == event
+
+    def test_roundtrip_entry_activated(self):
+        event = EntryActivated(
+            time=2.0, label="Inbox", action="inbox", path=("Messages", "Inbox")
+        )
+        decoded = decode_event(event.to_bytes())
+        assert decoded == event
+        assert isinstance(decoded.path, tuple)
+
+    def test_roundtrip_button(self):
+        event = ButtonEvent(time=0.1, name="select", pressed=True)
+        assert decode_event(event.to_bytes()) == event
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode_event(b"\xff\x00garbage")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode_event(b'{"kind": "Mystery", "time": 0}')
+
+    def test_host_can_decode_rf_stream(self):
+        """End to end: firmware events decoded on the PC side."""
+        device = DistScroll(["A", "B", "C", "D", "E"], seed=3, noisy=False)
+        device.hold_at(25.0)
+        device.run_for(0.3)
+        device.hold_at(7.0)
+        device.run_for(0.4)
+        decoded = [decode_event(p.payload) for p in device.board.rf_host.received]
+        assert any(e.kind == "HighlightChanged" for e in decoded)
+
+
+class TestConfigValidation:
+    def test_far_bound_beyond_sensor_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(range_cm=(5.0, 35.0))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(range_cm=(20.0, 10.0))
+
+    def test_bad_fill_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(island_fill=1.5)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(firmware_hz=0.0)
+        with pytest.raises(ValueError):
+            DeviceConfig(fast_scroll_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            DeviceConfig(confirm_samples=0)
+
+    def test_with_helper(self):
+        config = DeviceConfig()
+        narrowed = config.with_(range_cm=(6.0, 20.0))
+        assert narrowed.range_cm == (6.0, 20.0)
+        assert narrowed.chunk_size == config.chunk_size
+
+    def test_span(self):
+        assert DeviceConfig(range_cm=(5.0, 25.0)).span_cm == 20.0

@@ -1,0 +1,290 @@
+"""Tests for the firmware loop: islands→menu, buttons, chunking, display."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DeviceConfig, ScrollDirection
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+
+
+def make_device(n=10, config=None, noisy=False, seed=0):
+    labels = [f"Item {i}" for i in range(n)]
+    return DistScroll(build_menu(labels), config=config, seed=seed, noisy=noisy)
+
+
+class TestDistanceToHighlight:
+    def test_each_island_center_selects_its_entry(self):
+        device = make_device(8)
+        firmware = device.firmware
+        for index in range(8):
+            device.hold_at(firmware.aim_distance_for_index(index))
+            device.run_for(0.4)
+            assert device.highlighted_index == index
+
+    def test_polarity_towards_scrolls_down(self):
+        device = make_device(6)
+        device.hold_at(6.0)  # near the body
+        device.run_for(0.4)
+        assert device.highlighted_index == 5  # last entry = "down"
+        device.hold_at(27.0)
+        device.run_for(0.4)
+        assert device.highlighted_index == 0
+
+    def test_polarity_towards_scrolls_up(self):
+        config = DeviceConfig(direction=ScrollDirection.TOWARDS_SCROLLS_UP)
+        device = make_device(6, config=config)
+        device.hold_at(6.0)
+        device.run_for(0.4)
+        assert device.highlighted_index == 0
+        device.hold_at(27.0)
+        device.run_for(0.4)
+        assert device.highlighted_index == 5
+
+    def test_gap_holds_previous_selection(self):
+        device = make_device(6)
+        firmware = device.firmware
+        device.hold_at(firmware.aim_distance_for_index(3))
+        device.run_for(0.4)
+        assert device.highlighted_index == 3
+        # Move into the gap between islands 3 and 2's distances.
+        d3 = firmware.aim_distance_for_index(3)
+        d2 = firmware.aim_distance_for_index(2)
+        device.hold_at((d3 + d2) / 2.0)
+        device.run_for(0.5)
+        assert device.highlighted_index == 3  # unchanged, by design
+
+    def test_out_of_range_holds_selection(self):
+        device = make_device(6)
+        device.hold_at(15.0)
+        device.run_for(0.4)
+        before = device.highlighted_index
+        device.hold_at(45.0)  # beyond the sensor
+        device.run_for(0.5)
+        assert device.highlighted_index == before
+
+
+class TestButtons:
+    def test_select_enters_submenu(self):
+        device = DistScroll(
+            build_menu({"A": ["a1", "a2"], "B": []}), seed=0, noisy=False
+        )
+        device.hold_at(26.0)
+        device.run_for(0.4)
+        assert device.highlighted_label == "A"
+        device.click("select")
+        assert device.depth == 1
+        assert device.firmware.cursor.entries[0].label == "a1"
+
+    def test_select_leaf_emits_activation(self):
+        device = DistScroll(build_menu({"A": [], "B": []}), seed=0, noisy=False)
+        device.hold_at(24.0)
+        device.run_for(0.4)
+        device.click("select")
+        kinds = [e.kind for _, e in device.events()]
+        assert "EntryActivated" in kinds
+
+    def test_back_leaves_submenu(self):
+        device = DistScroll(build_menu({"A": ["a1"], "B": []}), seed=0, noisy=False)
+        device.hold_at(26.0)
+        device.run_for(0.4)
+        device.click("select")
+        assert device.depth == 1
+        device.click("back")
+        assert device.depth == 0
+
+    def test_islands_rebuilt_per_level(self):
+        device = DistScroll(
+            build_menu({"A": ["a1", "a2", "a3"], "B": [], "C": [], "D": []}),
+            seed=0,
+            noisy=False,
+        )
+        device.hold_at(26.0)
+        device.run_for(0.4)
+        four = device.firmware.island_map.n_slots
+        device.click("select")
+        three = device.firmware.island_map.n_slots
+        assert (four, three) == (4, 3)
+
+
+class TestChunking:
+    def test_long_level_is_chunked(self):
+        config = DeviceConfig(chunk_size=10)
+        device = make_device(25, config=config)
+        assert device.firmware.n_chunks == 3
+        assert device.firmware.island_map.n_slots == 10
+
+    def test_aux_pages_chunks(self):
+        config = DeviceConfig(chunk_size=10)
+        device = make_device(25, config=config)
+        device.run_for(0.2)
+        device.click("aux")
+        assert device.firmware.chunk == 1
+        device.click("aux")
+        assert device.firmware.chunk == 2
+        assert device.firmware.island_map.n_slots == 5  # partial last chunk
+        device.click("aux")
+        assert device.firmware.chunk == 0  # wraps
+
+    def test_chunk_of_index(self):
+        config = DeviceConfig(chunk_size=10)
+        device = make_device(25, config=config)
+        assert device.firmware.chunk_of_index(0) == 0
+        assert device.firmware.chunk_of_index(19) == 1
+        assert device.firmware.chunk_of_index(24) == 2
+
+    def test_selection_on_second_chunk(self):
+        config = DeviceConfig(chunk_size=10)
+        device = make_device(25, config=config)
+        device.run_for(0.2)
+        device.click("aux")
+        aim = device.firmware.aim_distance_for_index(14)
+        device.hold_at(aim)
+        device.run_for(0.4)
+        assert device.highlighted_index == 14
+
+    def test_aim_for_wrong_chunk_raises(self):
+        config = DeviceConfig(chunk_size=10)
+        device = make_device(25, config=config)
+        with pytest.raises(ValueError):
+            device.firmware.aim_distance_for_index(14)
+
+    def test_chunking_disabled(self):
+        config = DeviceConfig(chunk_size=0)
+        device = make_device(25, config=config)
+        assert device.firmware.n_chunks == 1
+        assert device.firmware.island_map.n_slots == 25
+
+
+class TestFastScroll:
+    def test_fast_scroll_steps_highlight(self):
+        config = DeviceConfig(chunk_size=0, fast_scroll_enabled=True)
+        device = make_device(30, config=config)
+        device.hold_at(20.0)
+        device.run_for(0.4)
+        start = device.highlighted_index
+        device.hold_at(3.95)  # hover at the peak
+        device.run_for(1.0)
+        fast_events = [e for _, e in device.events() if e.kind == "FastScroll"]
+        assert len(fast_events) >= 5
+        assert device.highlighted_index > start
+
+    def test_fast_scroll_disabled_freezes(self):
+        config = DeviceConfig(chunk_size=0, fast_scroll_enabled=False)
+        device = make_device(30, config=config)
+        device.hold_at(20.0)
+        device.run_for(0.4)
+        before = device.highlighted_index
+        device.hold_at(3.95)
+        device.run_for(1.0)
+        assert device.highlighted_index == before
+
+    def test_foldback_latch_preserves_selection(self):
+        config = DeviceConfig(chunk_size=0, fast_scroll_enabled=False)
+        device = make_device(30, config=config)
+        device.hold_at(5.5)
+        device.run_for(0.4)
+        at_crossing = device.highlighted_index
+        # A physical hand transits the peak; step through it like one.
+        for d in (4.8, 4.2, 3.8, 3.2, 2.8, 2.4):
+            device.hold_at(d)
+            device.run_for(0.1)
+        device.run_for(1.0)  # parked at 2.4 cm (alias ~6.1 cm)
+        assert device.highlighted_index == at_crossing
+
+
+class TestDisplays:
+    def test_menu_window_shows_highlight_marker(self):
+        device = make_device(10)
+        device.hold_at(26.0)
+        device.run_for(0.4)
+        lines = device.visible_menu()
+        assert any(line.startswith(">") for line in lines)
+        marked = [l for l in lines if l.startswith(">")][0]
+        assert device.highlighted_label in marked
+
+    def test_debug_display_shows_raw_code(self):
+        device = make_device(10)
+        device.hold_at(15.0)
+        device.run_for(0.4)
+        status = device.visible_status()
+        assert status[0].startswith("raw")
+
+    def test_state_display_mode(self):
+        config = DeviceConfig(debug_display=False)
+        device = make_device(10, config=config)
+        device.hold_at(15.0)
+        device.run_for(0.4)
+        status = device.visible_status()
+        assert "(top)" in status[0]
+
+    def test_window_scrolls_with_highlight(self):
+        device = make_device(12)
+        device.hold_at(6.0)  # highlight near the end of the list
+        device.run_for(0.5)
+        lines = device.visible_menu()
+        assert any("Item 11" in line for line in lines)
+        assert not any("Item 0" in line and "Item 01" not in line for line in lines)
+
+
+class TestPowerAndHalt:
+    def test_battery_drains_during_run(self):
+        device = make_device(5, noisy=False)
+        start = device.board.battery.state_of_charge
+        device.run_for(30.0)
+        assert device.board.battery.state_of_charge < start
+
+    def test_halt_stops_processing(self):
+        device = make_device(5)
+        device.run_for(0.2)
+        device.firmware.halt()
+        ticks_before = device.board.mcu.ticks
+        device.run_for(1.0)
+        assert device.board.mcu.ticks == ticks_before
+
+    def test_brownout_halts_firmware(self):
+        device = make_device(5, noisy=False)
+        # Force-flatten the battery.
+        device.board.battery.draw(20.0, 3600 * 40)
+        device.run_for(0.2)
+        assert device.firmware.halted
+
+    def test_mcu_headroom_is_positive(self):
+        """The re-implemented firmware must fit the PIC's cycle budget."""
+        device = make_device(10)
+        device.hold_at(15.0)
+        device.run_for(1.0)
+        utilization = device.board.mcu.tick_utilization(
+            device.config.firmware_period_s
+        )
+        assert 0.0 < utilization < 1.0
+
+    def test_memory_fits_the_pic(self):
+        device = make_device(10)
+        assert device.board.mcu.flash_free > 0
+        assert device.board.mcu.ram_free > 0
+
+
+class TestEventsStream:
+    def test_events_reach_host_over_rf(self):
+        device = make_device(8, noisy=False)
+        device.hold_at(26.0)
+        device.run_for(0.3)
+        device.hold_at(7.0)
+        device.run_for(0.5)
+        assert len(device.board.rf_host.received) > 0
+
+    def test_listener_add_remove(self):
+        device = make_device(5, noisy=False)
+        seen = []
+        cb = seen.append
+        device.firmware.add_listener(cb)
+        device.hold_at(7.0)
+        device.run_for(0.4)
+        count = len(seen)
+        assert count > 0
+        device.firmware.remove_listener(cb)
+        device.hold_at(25.0)
+        device.run_for(0.4)
+        assert len(seen) == count

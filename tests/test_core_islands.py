@@ -1,0 +1,183 @@
+"""Tests for the island mapping — the paper's core algorithm (§4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.islands import Island, IslandMap, Placement, build_island_map
+from repro.hardware.adc import ADC
+from repro.sensors.gp2d120 import GP2D120
+
+
+class TestIsland:
+    def test_width(self):
+        island = Island(0, 10, 20, 15, 10.0)
+        assert island.width_codes == 11
+
+    def test_contains(self):
+        island = Island(0, 10, 20, 15, 10.0)
+        assert island.contains(10)
+        assert island.contains(20)
+        assert not island.contains(21)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Island(0, 20, 10, 15, 10.0)
+
+
+class TestBuildPaperPlacement:
+    def test_equal_distance_spacing(self, ideal_sensor, ideal_adc):
+        """'the perception that the entries are equally spaced'."""
+        island_map = build_island_map(ideal_sensor, ideal_adc, 10)
+        spacings = island_map.distance_spacings()
+        assert spacings.std() < 1e-9
+        assert spacings[0] == pytest.approx(23.0 / 10)
+
+    def test_gaps_exist(self, ideal_sensor, ideal_adc):
+        """'These islands do not cover the complete spectrum'."""
+        island_map = build_island_map(ideal_sensor, ideal_adc, 8)
+        assert island_map.coverage_fraction() < 0.9
+
+    def test_full_coverage_has_no_gaps(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(
+            ideal_sensor, ideal_adc, 8, placement=Placement.FULL_COVERAGE
+        )
+        assert island_map.coverage_fraction() > 0.95
+
+    def test_gap_lookup_returns_none(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(ideal_sensor, ideal_adc, 6)
+        a = island_map.island_for_slot(2)
+        b = island_map.island_for_slot(3)
+        lo, hi = sorted([a.code_high, b.code_low])
+        gap_code = (lo + hi) // 2
+        if island_map.lookup(gap_code) is not None:
+            pytest.skip("no gap between these islands at this size")
+        assert island_map.lookup(gap_code) is None
+
+    def test_center_codes_inside_their_islands(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(ideal_sensor, ideal_adc, 12)
+        for island in island_map.islands:
+            assert island.contains(island.center_code)
+            assert island_map.lookup(island.center_code) == island.slot
+
+    def test_slot_zero_is_nearest(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(ideal_sensor, ideal_adc, 5)
+        assert island_map.center_distance(0) < island_map.center_distance(4)
+        # Nearest slot owns the highest codes.
+        assert (
+            island_map.island_for_slot(0).code_low
+            > island_map.island_for_slot(4).code_high
+        )
+
+    def test_near_bound_in_foldback_rejected(self, ideal_sensor, ideal_adc):
+        with pytest.raises(ValueError):
+            build_island_map(ideal_sensor, ideal_adc, 5, range_cm=(3.0, 28.0))
+
+    def test_too_many_entries_rejected(self, ideal_sensor, ideal_adc):
+        with pytest.raises(ValueError):
+            build_island_map(ideal_sensor, ideal_adc, 500)
+
+    def test_single_entry(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(ideal_sensor, ideal_adc, 1)
+        assert island_map.n_slots == 1
+
+    def test_invalid_parameters(self, ideal_sensor, ideal_adc):
+        with pytest.raises(ValueError):
+            build_island_map(ideal_sensor, ideal_adc, 0)
+        with pytest.raises(ValueError):
+            build_island_map(ideal_sensor, ideal_adc, 5, island_fill=0.0)
+        with pytest.raises(ValueError):
+            build_island_map(ideal_sensor, ideal_adc, 5, range_cm=(20.0, 10.0))
+
+
+class TestEqualCodeAblation:
+    def test_equal_code_spacing_is_nonuniform_in_distance(
+        self, ideal_sensor, ideal_adc
+    ):
+        """The naive mapping the paper rejects: 'many entities would be
+        scrolled with only a small amount of movement' near the body."""
+        island_map = build_island_map(
+            ideal_sensor, ideal_adc, 10, placement=Placement.EQUAL_CODE
+        )
+        spacings = island_map.distance_spacings()
+        assert spacings.std() / spacings.mean() > 0.3
+
+    def test_equal_code_near_slots_are_cramped(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(
+            ideal_sensor, ideal_adc, 10, placement=Placement.EQUAL_CODE
+        )
+        near_span = abs(
+            island_map.center_distance(1) - island_map.center_distance(0)
+        )
+        far_span = abs(
+            island_map.center_distance(9) - island_map.center_distance(8)
+        )
+        assert far_span > 3 * near_span
+
+
+class TestIslandMapInvariants:
+    def test_overlap_rejected(self):
+        islands = [
+            Island(0, 10, 30, 20, 5.0),
+            Island(1, 25, 50, 40, 10.0),
+        ]
+        with pytest.raises(ValueError):
+            IslandMap(islands, Placement.EQUAL_DISTANCE)
+
+    def test_duplicate_slots_rejected(self):
+        islands = [
+            Island(0, 10, 20, 15, 5.0),
+            Island(0, 30, 40, 35, 10.0),
+        ]
+        with pytest.raises(ValueError):
+            IslandMap(islands, Placement.EQUAL_DISTANCE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IslandMap([], Placement.EQUAL_DISTANCE)
+
+    def test_missing_slot_lookup(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(ideal_sensor, ideal_adc, 3)
+        with pytest.raises(KeyError):
+            island_map.island_for_slot(7)
+
+    @given(n=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_every_code_maps_to_at_most_one_slot(self, n):
+        sensor = GP2D120(rng=None)
+        adc = ADC(rng=None)
+        island_map = build_island_map(sensor, adc, n)
+        for code in range(0, adc.params.max_code + 1, 3):
+            slot = island_map.lookup(code)
+            if slot is not None:
+                assert island_map.island_for_slot(slot).contains(code)
+
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        fill=st.floats(min_value=0.3, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_islands_ordered_and_disjoint(self, n, fill):
+        sensor = GP2D120(rng=None)
+        adc = ADC(rng=None)
+        island_map = build_island_map(sensor, adc, n, island_fill=fill)
+        ordered = island_map.islands
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.code_high < b.code_low
+
+    @given(n=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_center_distance_monotone_in_slot(self, n):
+        sensor = GP2D120(rng=None)
+        adc = ADC(rng=None)
+        island_map = build_island_map(sensor, adc, n)
+        centers = [island_map.center_distance(s) for s in range(n)]
+        assert centers == sorted(centers)
+
+    def test_distance_tolerance_positive(self, ideal_sensor, ideal_adc):
+        island_map = build_island_map(ideal_sensor, ideal_adc, 10)
+        for slot in range(10):
+            assert island_map.distance_tolerance(slot, ideal_sensor) > 0.0

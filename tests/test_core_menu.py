@@ -1,0 +1,181 @@
+"""Tests for menu trees and the navigation cursor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.menu import MenuCursor, MenuEntry, build_menu, flatten_paths
+
+
+@pytest.fixture
+def tree() -> MenuEntry:
+    return build_menu(
+        {
+            "Messages": ["Inbox", "Outbox"],
+            "Settings": {"Sound": ["Volume", "Tone"], "Display": []},
+            "Camera": [],
+        }
+    )
+
+
+class TestMenuEntry:
+    def test_build_from_dict(self, tree):
+        assert [c.label for c in tree.children] == [
+            "Messages",
+            "Settings",
+            "Camera",
+        ]
+
+    def test_leaves_have_actions(self, tree):
+        inbox = tree.child("Messages").child("Inbox")
+        assert inbox.is_leaf
+        assert inbox.action == "inbox"
+
+    def test_child_lookup_missing(self, tree):
+        with pytest.raises(KeyError):
+            tree.child("Nope")
+
+    def test_walk_counts_every_node(self, tree):
+        # root + 3 top + 2 msg + 2 settings + 2 sound = 10
+        assert tree.count_entries() == 10
+
+    def test_max_depth(self, tree):
+        assert tree.max_depth() == 4  # root > Settings > Sound > Volume
+
+    def test_max_fanout(self, tree):
+        assert tree.max_fanout() == 3
+
+    def test_flatten_paths(self, tree):
+        paths = flatten_paths(tree)
+        assert ("Messages", "Inbox") in paths
+        assert ("Settings", "Sound", "Volume") in paths
+        assert ("Camera",) in paths
+
+    def test_build_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            build_menu(42)
+
+    def test_build_from_list_of_entries(self):
+        custom = MenuEntry("Custom", action="x")
+        menu = build_menu([custom, "Plain"])
+        assert menu.children[0] is custom
+        assert menu.children[1].label == "Plain"
+
+
+class TestMenuCursor:
+    def test_initial_state(self, tree):
+        cursor = MenuCursor(root=tree)
+        assert cursor.depth == 0
+        assert cursor.highlight == 0
+        assert cursor.highlighted_entry.label == "Messages"
+
+    def test_leaf_root_rejected(self):
+        with pytest.raises(ValueError):
+            MenuCursor(root=MenuEntry("lonely"))
+
+    def test_set_highlight_clamps(self, tree):
+        cursor = MenuCursor(root=tree)
+        cursor.set_highlight(99)
+        assert cursor.highlight == 2
+        cursor.set_highlight(-5)
+        assert cursor.highlight == 0
+
+    def test_set_highlight_reports_change(self, tree):
+        cursor = MenuCursor(root=tree)
+        assert cursor.set_highlight(1)
+        assert not cursor.set_highlight(1)
+
+    def test_select_descends_submenu(self, tree):
+        cursor = MenuCursor(root=tree)
+        result = cursor.select()
+        assert result is None
+        assert cursor.depth == 1
+        assert cursor.breadcrumb == ("Messages",)
+        assert cursor.highlight == 0
+
+    def test_select_leaf_activates(self, tree):
+        activated = []
+        cursor = MenuCursor(root=tree, on_activate=activated.append)
+        cursor.set_highlight(2)  # Camera, a leaf
+        result = cursor.select()
+        assert result is not None
+        assert result.label == "Camera"
+        assert activated[0].label == "Camera"
+        assert cursor.depth == 0
+
+    def test_back_restores_highlight_on_parent(self, tree):
+        cursor = MenuCursor(root=tree)
+        cursor.set_highlight(1)  # Settings
+        cursor.select()
+        assert cursor.breadcrumb == ("Settings",)
+        assert cursor.back()
+        assert cursor.depth == 0
+        assert cursor.highlighted_entry.label == "Settings"
+
+    def test_back_at_root_is_noop(self, tree):
+        cursor = MenuCursor(root=tree)
+        assert not cursor.back()
+
+    def test_deep_navigation(self, tree):
+        cursor = MenuCursor(root=tree)
+        cursor.set_highlight(1)
+        cursor.select()  # Settings
+        cursor.select()  # Sound
+        assert cursor.breadcrumb == ("Settings", "Sound")
+        leaf = None
+        cursor.set_highlight(0)
+        leaf = cursor.select()
+        assert leaf.label == "Volume"
+
+    def test_reset(self, tree):
+        cursor = MenuCursor(root=tree)
+        cursor.set_highlight(1)
+        cursor.select()
+        cursor.reset()
+        assert cursor.depth == 0
+        assert cursor.highlight == 0
+
+
+@st.composite
+def _menu_specs(draw, depth=0):
+    n = draw(st.integers(min_value=1, max_value=4))
+    spec = {}
+    for i in range(n):
+        if depth < 2 and draw(st.booleans()):
+            spec[f"m{depth}_{i}"] = draw(_menu_specs(depth=depth + 1))
+        else:
+            spec[f"leaf{depth}_{i}"] = []
+    return spec
+
+
+@given(spec=_menu_specs())
+@settings(max_examples=40, deadline=None)
+def test_property_select_then_back_is_identity(spec):
+    """Entering any submenu and leaving restores level and highlight."""
+    menu = build_menu(spec)
+    cursor = MenuCursor(root=menu)
+    for index, entry in enumerate(cursor.entries):
+        cursor.set_highlight(index)
+        before_crumb = cursor.breadcrumb
+        if entry.is_leaf:
+            continue
+        cursor.select()
+        cursor.back()
+        assert cursor.breadcrumb == before_crumb
+        assert cursor.highlighted_entry.label == entry.label
+
+
+@given(spec=_menu_specs())
+@settings(max_examples=40, deadline=None)
+def test_property_flatten_paths_all_reachable(spec):
+    """Every flattened path can be walked through the cursor."""
+    menu = build_menu(spec)
+    for path in flatten_paths(menu):
+        cursor = MenuCursor(root=menu)
+        for label in path:
+            labels = [e.label for e in cursor.entries]
+            cursor.set_highlight(labels.index(label))
+            result = cursor.select()
+        assert result is not None and result.label == path[-1]

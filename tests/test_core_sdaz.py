@@ -1,0 +1,155 @@
+"""Tests for the SDAZ long-menu mode (§7 Q4 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.core.sdaz import SDAZFirmware
+from repro.interaction.user import SimulatedUser
+
+
+def make_sdaz_device(n=60, seed=6, **extra):
+    config = DeviceConfig(long_menu_mode="sdaz", chunk_size=10, **extra)
+    return DistScroll(
+        build_menu([f"Item {i:03d}" for i in range(n)]), config=config,
+        seed=seed,
+    )
+
+
+class TestGeometry:
+    def test_device_picks_sdaz_firmware(self):
+        device = make_sdaz_device()
+        assert isinstance(device.firmware, SDAZFirmware)
+
+    def test_plain_config_keeps_base_firmware(self):
+        device = DistScroll(build_menu(["A", "B"]), seed=0)
+        assert not isinstance(device.firmware, SDAZFirmware)
+
+    def test_anchor_indices_span_the_level(self):
+        device = make_sdaz_device(n=60)
+        anchors = device.firmware.anchor_indices()
+        assert anchors[0] == 0
+        assert anchors[-1] == 59
+        assert len(anchors) == 10
+        assert anchors == sorted(anchors)
+
+    def test_nearest_anchor(self):
+        device = make_sdaz_device(n=60)
+        firmware = device.firmware
+        for target in (0, 17, 31, 59):
+            anchor = firmware.nearest_anchor(target)
+            assert anchor in firmware.anchor_indices()
+            stride = 59 / 9
+            assert abs(anchor - target) <= stride / 2 + 1
+
+    def test_short_level_behaves_flat(self):
+        device = make_sdaz_device(n=6)
+        assert device.firmware.zoom == "fine"
+        device.hold_at(26.0)
+        device.run_for(0.4)
+        assert device.highlighted_index == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(long_menu_mode="mystery")
+
+
+class TestZoomTransitions:
+    def test_dwell_zooms_in(self):
+        device = make_sdaz_device()
+        firmware = device.firmware
+        assert firmware.zoom == "coarse"
+        aim = firmware.aim_distance_for_index(33)
+        device.hold_at(aim)
+        device.run_for(1.5)  # dwell past the zoom threshold
+        assert firmware.zoom == "fine"
+        start, end = firmware.window_range()
+        assert start <= 33 <= end
+        zooms = [e for _, e in device.events() if e.kind == "ZoomChanged"]
+        assert zooms and zooms[-1].zoom == "fine"
+
+    def test_aux_zooms_out(self):
+        device = make_sdaz_device()
+        firmware = device.firmware
+        device.hold_at(firmware.aim_distance_for_index(33))
+        device.run_for(1.5)
+        assert firmware.zoom == "fine"
+        device.click("aux")
+        assert firmware.zoom == "coarse"
+
+    def test_fast_region_zooms_out(self):
+        device = make_sdaz_device()
+        firmware = device.firmware
+        device.hold_at(firmware.aim_distance_for_index(33))
+        device.run_for(1.5)
+        assert firmware.zoom == "fine"
+        device.hold_at(4.0)  # the near-peak gesture region
+        device.run_for(0.5)
+        assert firmware.zoom == "coarse"
+
+    def test_edge_hold_pans(self):
+        device = make_sdaz_device()
+        firmware = device.firmware
+        device.hold_at(firmware.aim_distance_for_index(33))
+        device.run_for(1.5)
+        start_before, end_before = firmware.window_range()
+        # Hold the far-window edge (higher index end).
+        device.hold_at(firmware.aim_distance_for_index(end_before))
+        device.run_for(2.0)
+        start_after, end_after = firmware.window_range()
+        assert end_after > end_before
+
+    def test_entering_submenu_resets_zoom(self):
+        menu = build_menu(
+            {f"Sub {i}": [f"leaf {j}" for j in range(3)] for i in range(30)}
+        )
+        config = DeviceConfig(long_menu_mode="sdaz", chunk_size=10)
+        device = DistScroll(menu, config=config, seed=3)
+        firmware = device.firmware
+        device.hold_at(firmware.aim_distance_for_index(0))
+        device.run_for(1.5)
+        assert firmware.zoom == "fine"
+        device.click("select")  # descend into a 3-entry submenu
+        assert device.depth == 1
+        # Short level: fine/flat behaviour.
+        assert not firmware._level_needs_zoom()
+
+
+class TestClosedLoopSDAZ:
+    def test_user_selects_across_long_menu(self):
+        device = make_sdaz_device(n=60)
+        user = SimulatedUser(device=device, rng=np.random.default_rng(6))
+        user.practice_trials = 30
+        device.run_for(0.5)
+        for target in (5, 33, 58):
+            result = user.select_entry(target)
+            assert result.success, f"failed on {target}"
+
+    def test_user_selects_on_200_entry_menu(self):
+        """Far beyond the flat limit and painful with chunk paging."""
+        device = make_sdaz_device(n=200)
+        user = SimulatedUser(device=device, rng=np.random.default_rng(6))
+        user.practice_trials = 30
+        device.run_for(0.5)
+        result = user.select_entry(103)
+        assert result.success
+        assert result.duration_s < 30.0
+
+    def test_buttonless_traversal(self):
+        """No aux presses needed when the anchor lands near the target."""
+        device = make_sdaz_device(n=60)
+        user = SimulatedUser(device=device, rng=np.random.default_rng(7))
+        user.practice_trials = 30
+        device.run_for(0.5)
+        result = user.select_entry(33)  # exactly on an anchor
+        assert result.success
+        aux_presses = [
+            e
+            for _, e in device.events()
+            if e.kind == "ButtonEvent" and e.name == "aux"
+        ]
+        assert not aux_presses

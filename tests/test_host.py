@@ -1,0 +1,185 @@
+"""Tests for the host-PC side: logger, study controller, session replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.phonemenu import build_phone_menu
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.host import EventLogger, SessionRecorder, SessionReplay, StudyController
+from repro.interaction.user import SimulatedUser
+
+
+def make_device(seed=9, **config_kw):
+    return DistScroll(
+        build_menu([f"Item {i}" for i in range(8)]),
+        config=DeviceConfig(**config_kw),
+        seed=seed,
+    )
+
+
+class TestEventLogger:
+    def _logged_device(self, seed=9):
+        device = make_device(seed=seed)
+        logger = EventLogger(device.board.rf_host, clock=lambda: device.sim.now)
+        return device, logger
+
+    def test_decodes_highlight_events(self):
+        device, logger = self._logged_device()
+        device.hold_at(25.0)
+        device.run_for(0.3)
+        device.hold_at(7.0)
+        device.run_for(0.5)
+        assert len(logger) > 0
+        assert any(True for _ in logger.of_kind("HighlightChanged"))
+
+    def test_counts_histogram(self):
+        device, logger = self._logged_device()
+        device.hold_at(25.0)
+        device.run_for(0.3)
+        device.click("select")
+        counts = logger.counts()
+        assert counts["ButtonEvent"] >= 1
+
+    def test_latency_positive_and_small(self):
+        device, logger = self._logged_device()
+        device.hold_at(7.0)
+        device.run_for(0.5)
+        assert 0.0 < logger.mean_latency() < 0.05
+
+    def test_last_of_kind(self):
+        device, logger = self._logged_device()
+        device.hold_at(7.0)
+        device.run_for(0.5)
+        last = logger.last("HighlightChanged")
+        assert last is not None
+        assert last.event.kind == "HighlightChanged"
+        assert logger.last("EntryActivated") is None
+
+    def test_between_uses_device_time(self):
+        device, logger = self._logged_device()
+        device.hold_at(7.0)
+        device.run_for(1.0)
+        window = logger.between(0.0, 0.5)
+        assert all(0.0 <= le.event.time <= 0.5 for le in window)
+
+    def test_garbage_packet_counted_not_raised(self):
+        device, logger = self._logged_device()
+        device.board.rf_device.send(b"\xff\x00 not json")
+        device.run_for(0.1)
+        assert logger.decode_failures == 1
+
+    def test_clear(self):
+        device, logger = self._logged_device()
+        device.hold_at(7.0)
+        device.run_for(0.5)
+        logger.clear()
+        assert len(logger) == 0
+
+
+class TestStudyController:
+    def _setup(self, seed=9):
+        device = DistScroll(
+            build_phone_menu(),
+            config=DeviceConfig(debug_display=False),
+            seed=seed,
+        )
+        controller = StudyController(device=device)
+        user = SimulatedUser(device=device, rng=np.random.default_rng(seed))
+        user.practice_trials = 30
+        device.run_for(0.5)
+        return device, controller, user
+
+    def test_instruction_reaches_device_display(self):
+        device, controller, _ = self._setup()
+        controller.begin_task(("Messages", "Inbox"))
+        device.run_for(0.3)
+        status = " ".join(device.visible_status())
+        assert "Messages" in status
+
+    def test_full_task_scored(self):
+        device, controller, user = self._setup()
+        score = controller.begin_task(("Messages", "Inbox"))
+        for label in ("Messages", "Inbox"):
+            labels = [e.label for e in device.firmware.cursor.entries]
+            user.select_entry(labels.index(label))
+            controller.poll()
+        assert score.completed
+        assert score.duration_s > 0.5
+        assert controller.summary()["n_completed"] == 1
+
+    def test_invalid_path_rejected(self):
+        device, controller, _ = self._setup()
+        with pytest.raises(KeyError):
+            controller.begin_task(("Nope",))
+        with pytest.raises(ValueError):
+            controller.begin_task(("Messages",))  # submenu, not leaf
+
+    def test_overlapping_tasks_rejected(self):
+        device, controller, _ = self._setup()
+        controller.begin_task(("Messages", "Inbox"))
+        with pytest.raises(RuntimeError):
+            controller.begin_task(("Games", "Snake"))
+
+    def test_abort_allows_next_task(self):
+        device, controller, _ = self._setup()
+        controller.begin_task(("Messages", "Inbox"))
+        controller.abort_task()
+        controller.begin_task(("Games", "Snake"))
+        assert len(controller.scores) == 2
+
+
+class TestSessionRecorderReplay:
+    def test_roundtrip(self, tmp_path):
+        device = make_device()
+        path = tmp_path / "session.jsonl"
+        with SessionRecorder(device, path) as recorder:
+            device.hold_at(25.0)
+            device.run_for(0.3)
+            recorder.sample_pose()
+            device.hold_at(7.0)
+            device.run_for(0.5)
+            recorder.sample_pose()
+            device.click("select")
+        replay = SessionReplay.load(path)
+        assert replay.events
+        assert replay.poses
+        assert replay.duration() > 0.5
+        kinds = {e.kind for e in replay.events}
+        assert "ButtonEvent" in kinds
+
+    def test_pose_travel(self, tmp_path):
+        device = make_device()
+        path = tmp_path / "session.jsonl"
+        with SessionRecorder(device, path) as recorder:
+            for d in (25.0, 20.0, 15.0, 10.0):
+                device.hold_at(d)
+                device.run_for(0.1)
+                recorder.sample_pose()
+        replay = SessionReplay.load(path)
+        assert replay.total_hand_travel_cm() >= 14.0
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"rec": "pose", "t": 0, "d": 10}\nnot json\n')
+        with pytest.raises(ValueError):
+            SessionReplay.load(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"rec": "mystery"}\n')
+        with pytest.raises(ValueError):
+            SessionReplay.load(path)
+
+    def test_events_of_kind_filter(self, tmp_path):
+        device = make_device()
+        path = tmp_path / "session.jsonl"
+        with SessionRecorder(device, path):
+            device.hold_at(7.0)
+            device.run_for(0.5)
+        replay = SessionReplay.load(path)
+        for event in replay.events_of_kind("HighlightChanged"):
+            assert event.kind == "HighlightChanged"

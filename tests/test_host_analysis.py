@@ -1,0 +1,90 @@
+"""Tests for the offline session-analysis toolbox."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.host import SessionRecorder, SessionReplay, analyze_session
+from repro.host.analysis import _count_velocity_peaks
+from repro.interaction.user import SimulatedUser
+
+
+def record_session(tmp_path, n_trials=3, seed=9):
+    """Run a few real trials and record them densely."""
+    device = DistScroll(
+        build_menu([f"Item {i}" for i in range(8)]), seed=seed
+    )
+    user = SimulatedUser(device=device, rng=np.random.default_rng(seed))
+    user.practice_trials = 30
+    path = tmp_path / "session.jsonl"
+    recorder = SessionRecorder(device, path, pose_resolution_cm=0.1)
+    # Dense pose sampling via a periodic task on the shared simulator.
+    from repro.sim.kernel import PeriodicTask
+
+    PeriodicTask(device.sim, 0.02, recorder.sample_pose, phase=0.0)
+    device.run_for(0.5)
+    targets = [2, 6, 1, 7, 4][:n_trials]
+    for target in targets:
+        user.select_entry(target)
+    recorder.close()
+    return path, targets
+
+
+class TestSessionAnalysis:
+    def test_trials_segmented_by_activation(self, tmp_path):
+        path, targets = record_session(tmp_path, n_trials=3)
+        analysis = analyze_session(SessionReplay.load(path))
+        assert analysis.n_trials == 3
+        labels = [t.activated_label for t in analysis.trials]
+        assert labels == [f"Item {i}" for i in targets]
+
+    def test_kinematics_plausible(self, tmp_path):
+        path, _ = record_session(tmp_path, n_trials=3)
+        analysis = analyze_session(SessionReplay.load(path))
+        for trial in analysis.trials:
+            assert trial.duration_s > 0.3
+            assert trial.path_cm > 0.5
+            assert 1.0 < trial.peak_velocity_cm_s < 300.0
+            assert trial.submovements >= 1
+
+    def test_aggregates(self, tmp_path):
+        path, _ = record_session(tmp_path, n_trials=2)
+        analysis = analyze_session(SessionReplay.load(path))
+        assert analysis.mean_trial_s > 0
+        assert analysis.mean_submovements >= 1
+        assert analysis.total_path_cm >= sum(
+            t.path_cm for t in analysis.trials
+        ) * 0.5
+        assert len(analysis.summary_rows()) == 2
+
+    def test_empty_session(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"rec": "pose", "t": 0.0, "d": 20.0}\n')
+        analysis = analyze_session(SessionReplay.load(path))
+        assert analysis.n_trials == 0
+        assert analysis.mean_trial_s == 0.0
+        assert analysis.mean_peak_velocity == 0.0
+
+
+class TestVelocityPeakCounting:
+    def test_single_clean_reach(self):
+        velocity = np.array([0.0, 2.0, 10.0, 20.0, 10.0, 2.0, 0.0])
+        assert _count_velocity_peaks(velocity, min_peak=3.0) == 1
+
+    def test_two_submovements(self):
+        velocity = np.array(
+            [0.0, 15.0, 0.5, 0.2, 8.0, 0.3, 0.0]
+        )
+        assert _count_velocity_peaks(velocity, min_peak=3.0) == 2
+
+    def test_tremor_only_is_zero(self):
+        velocity = np.array([0.5, -0.8, 0.6, -0.4, 0.7])
+        assert _count_velocity_peaks(velocity, min_peak=3.0) == 0
+
+    def test_hysteresis_prevents_double_counting(self):
+        # Dips that do not fall below 40% of threshold stay one movement.
+        velocity = np.array([0.0, 10.0, 2.0, 10.0, 0.0])
+        assert _count_velocity_peaks(velocity, min_peak=3.0) == 1

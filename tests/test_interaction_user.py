@@ -1,0 +1,176 @@
+"""Tests for the closed-loop simulated user (the §6 study machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.interaction.gloves import GLOVES
+from repro.interaction.user import MotorProfile, SimulatedUser
+
+
+def make_pair(n=10, seed=5, glove=None, config=None, practiced=True):
+    labels = [f"Item {i}" for i in range(n)]
+    device = DistScroll(build_menu(labels), config=config, seed=seed)
+    rng = np.random.default_rng(seed)
+    user = SimulatedUser(
+        device=device,
+        rng=rng,
+        glove=glove or GLOVES["none"],
+    )
+    if practiced:
+        user.practice_trials = 50
+    device.run_for(0.5)
+    return device, user
+
+
+class TestSelection:
+    def test_selects_requested_entry(self):
+        device, user = make_pair()
+        result = user.select_entry(6)
+        assert result.success
+        assert result.duration_s > 0.3
+
+    def test_selects_every_entry_eventually(self):
+        device, user = make_pair(n=8)
+        for target in range(8):
+            result = user.select_entry(target)
+            assert result.success, f"failed on entry {target}"
+
+    def test_far_targets_take_longer_than_near(self):
+        durations = {1: [], 9: []}
+        for seed in range(4):
+            device, user = make_pair(n=10, seed=seed)
+            user.hand.move_to(device.firmware.aim_distance_for_index(0), 0.3)
+            device.run_for(0.5)
+            durations[1].append(user.select_entry(1).duration_s)
+            user.hand.move_to(device.firmware.aim_distance_for_index(0), 0.3)
+            device.run_for(0.5)
+            durations[9].append(user.select_entry(9).duration_s)
+        assert np.mean(durations[9]) > np.mean(durations[1]) * 0.8
+
+    def test_submenu_selection_descends(self):
+        device = DistScroll(
+            build_menu({"A": ["a1", "a2"], "B": [], "C": []}), seed=2
+        )
+        user = SimulatedUser(device=device, rng=np.random.default_rng(2))
+        user.practice_trials = 50
+        device.run_for(0.5)
+        result = user.select_entry(0)  # "A" is a submenu
+        assert result.success
+        assert device.depth == 1
+
+    def test_trial_records_geometry(self):
+        device, user = make_pair()
+        result = user.select_entry(5)
+        assert result.target_width_cm > 0
+        assert result.movement_distance_cm >= 0
+
+    def test_practice_counter_increments(self):
+        device, user = make_pair()
+        before = user.practice_trials
+        user.select_entry(3)
+        assert user.practice_trials == before + 1
+
+
+class TestChunkedSelection:
+    def test_pages_to_target_chunk(self):
+        config = DeviceConfig(chunk_size=10)
+        device, user = make_pair(n=25, config=config)
+        result = user.select_entry(17)
+        assert result.success
+        assert device.firmware.chunk == 1
+
+    def test_returns_to_earlier_chunk(self):
+        config = DeviceConfig(chunk_size=10)
+        device, user = make_pair(n=25, config=config)
+        user.select_entry(17)
+        result = user.select_entry(3)
+        assert result.success
+        assert device.firmware.chunk == 0
+
+
+class TestGloves:
+    def test_arctic_mittens_slower_but_successful(self):
+        bare_times, mitten_times = [], []
+        for seed in range(3):
+            device, user = make_pair(seed=seed)
+            bare_times.append(user.select_entry(7).duration_s)
+            device, user = make_pair(seed=seed, glove=GLOVES["arctic"])
+            result = user.select_entry(7)
+            assert result.success
+            mitten_times.append(result.duration_s)
+        assert np.mean(mitten_times) > np.mean(bare_times)
+
+    def test_mittens_fumble_buttons_sometimes(self):
+        misses = 0
+        for seed in range(8):
+            device, user = make_pair(seed=seed, glove=GLOVES["arctic"])
+            result = user.select_entry(4)
+            misses += result.button_misses
+        assert misses > 0
+
+
+class TestLearning:
+    def test_unpracticed_user_needs_more_submovements(self):
+        fresh_subs, trained_subs = [], []
+        for seed in range(5):
+            device, user = make_pair(seed=seed, practiced=False)
+            fresh_subs.append(user.select_entry(7).submovements)
+            device, user = make_pair(seed=seed, practiced=True)
+            trained_subs.append(user.select_entry(7).submovements)
+        assert np.mean(fresh_subs) >= np.mean(trained_subs)
+
+    def test_aim_uncertainty_shrinks_with_practice(self):
+        device, user = make_pair(practiced=False)
+        fresh = user._aim_uncertainty_factor()
+        user.practice_trials = 100
+        trained = user._aim_uncertainty_factor()
+        assert fresh > trained
+        assert trained < 1.15
+
+
+class TestDiscovery:
+    def test_discovery_happens_promptly(self):
+        discovered_times = []
+        for seed in range(4):
+            device, user = make_pair(seed=seed, practiced=False)
+            result = user.discover(timeout_s=60.0)
+            assert result.discovered
+            discovered_times.append(result.time_to_discovery_s)
+        assert np.median(discovered_times) < 30.0
+
+    def test_hint_speeds_discovery(self):
+        with_hint, without = [], []
+        for seed in range(4):
+            device, user = make_pair(seed=seed, practiced=False)
+            with_hint.append(user.discover(hint_given=True).time_to_discovery_s)
+            device, user = make_pair(seed=seed + 100, practiced=False)
+            without.append(user.discover(hint_given=False).time_to_discovery_s)
+        assert np.mean(with_hint) <= np.mean(without)
+
+    def test_unreadable_display_blocks_discovery(self):
+        device, user = make_pair(practiced=False)
+        device.board.potentiometer.set_position(0.02)  # washed out
+        device.board.apply_contrast()
+        result = user.discover(timeout_s=10.0)
+        assert not result.discovered
+
+
+class TestMotorProfile:
+    def test_sampled_profiles_vary(self):
+        rng = np.random.default_rng(0)
+        profiles = [MotorProfile.sample(rng) for _ in range(10)]
+        reaction_times = {p.reaction_time_s for p in profiles}
+        assert len(reaction_times) == 10
+
+    def test_sampled_profiles_plausible(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = MotorProfile.sample(rng)
+            assert 0.1 < p.reaction_time_s < 0.8
+            assert 0.0 <= p.impulsivity <= 0.15
+            assert 0.05 < p.fitts_b < 0.4

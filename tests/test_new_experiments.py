@@ -1,0 +1,98 @@
+"""Integration tests for the extension experiments (fusion, PDA, layout,
+firmware ablation, SDAZ long menus, distance profile)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    run_distance_profile,
+    run_firmware_ablation,
+    run_fusion,
+    run_layouts,
+    run_long_menus,
+    run_pda,
+)
+
+
+class TestFusionExperiment:
+    def test_fusion_accuracy_and_dive_story(self):
+        result = run_fusion(seed=1)
+        errors = [
+            e for e in result.column("abs_error_cm") if not math.isnan(e)
+        ]
+        assert max(errors) < 1.0  # sub-centimeter everywhere measurable
+        joined = " ".join(result.notes)
+        assert "dual=LOST" not in joined
+        assert "single=LOST" in joined
+
+    def test_foldback_rows_flagged(self):
+        result = run_fusion(seed=1)
+        flags = dict(
+            zip(result.column("true_cm"), result.column("in_foldback"))
+        )
+        assert flags[1.5] == "yes"
+        assert flags[15.0] == "no"
+
+
+class TestPDAExperiment:
+    def test_addon_preserves_technique(self):
+        result = run_pda(seed=1, n_trials=4, n_users=2)
+        by_variant = {r[0]: r for r in result.rows}
+        handheld, pda = by_variant["handheld"], by_variant["pda-addon"]
+        assert 0.4 < pda[2] / handheld[2] < 2.5
+        assert pda[3] >= 0.75  # success rate
+        assert pda[4] > handheld[4]  # visibility advantage
+        assert pda[5] < handheld[5]  # scan penalty advantage
+
+
+class TestLayoutExperiment:
+    def test_table_covers_grid(self):
+        result = run_layouts(seed=1, n_users=3, n_trials=3)
+        assert len(result.rows) == 6  # 3 layouts x 2 gloves
+
+    def test_prototype_penalizes_lefties_bare_handed(self):
+        result = run_layouts(
+            seed=3, n_users=6, n_trials=4, gloves=("none",)
+        )
+        by_layout = {r[0]: r for r in result.rows}
+        assert by_layout["prototype-3-button"][4] > -0.1  # penalty exists-ish
+        # The large button has (near) no penalty and no misses bare-handed.
+        assert by_layout["single-large-button"][3] == 0.0
+
+
+class TestFirmwareAblation:
+    def test_tradeoff_shape(self):
+        result = run_firmware_ablation(seed=1, hold_time_s=3.0)
+        flicker = result.column("boundary_flicker_hz")
+        latency = result.column("step_latency_ms")
+        assert flicker[-1] <= flicker[0]
+        assert latency[-1] > latency[0]
+        assert all(not math.isnan(v) for v in latency)
+
+
+class TestLongMenusWithSDAZ:
+    def test_three_modes_reported(self):
+        result = run_long_menus(
+            seed=1, menu_lengths=(20,), n_trials=3, n_users=1
+        )
+        modes = set(result.column("mode"))
+        assert modes == {"flat", "chunked", "sdaz"}
+
+    def test_sdaz_no_wrong_activations_needed(self):
+        result = run_long_menus(
+            seed=1, menu_lengths=(40,), n_trials=3, n_users=1
+        )
+        rows = {r[1]: r for r in result.rows}
+        assert rows["sdaz"][2] > 0  # real times
+        assert rows["sdaz"][3] <= rows["flat"][3] + 0.5
+
+
+class TestDistanceProfile:
+    def test_crossover_shape(self):
+        result = run_distance_profile(seed=1, repetitions=4)
+        rows = {(r[0], r[1]): r[2] for r in result.rows}
+        assert rows[("buttons", 1)] < rows[("distscroll", 1)]
+        assert rows[("buttons", 23)] > rows[("distscroll", 23)]

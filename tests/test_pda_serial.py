@@ -1,0 +1,161 @@
+"""Tests for the UART link and the PDA add-on variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.menu import build_menu
+from repro.hardware.pda import DistScrollAddon, PDAListWidget, build_pda_device
+from repro.hardware.serial import UART
+from repro.sim.kernel import Simulator
+
+
+class TestUART:
+    def test_bytes_delivered_in_order(self, sim):
+        uart = UART(sim)
+        uart.write(bytes(range(10)))
+        sim.run()
+        assert uart.read() == bytes(range(10))
+
+    def test_baud_limits_throughput(self, sim):
+        uart = UART(sim, baud=9600)
+        uart.write(b"x" * 96)  # 960 bit times ~ 0.1 s
+        sim.run_until(0.05)
+        early = uart.pending
+        sim.run_until(0.2)
+        late = uart.pending
+        assert early < late == 96
+
+    def test_back_to_back_writes_queue_on_the_line(self, sim):
+        uart = UART(sim, baud=9600)
+        uart.write(b"aa")
+        busy = uart.write(b"bb")
+        assert busy == pytest.approx(4 * uart.byte_time_s, rel=0.01)
+
+    def test_isr_callback(self, sim):
+        uart = UART(sim)
+        got = []
+        uart.on_byte(got.append)
+        uart.write(b"\x01\x02")
+        sim.run()
+        assert got == [1, 2]
+
+    def test_framing_errors_injected(self, sim):
+        uart = UART(
+            sim, framing_error_rate=0.5, rng=np.random.default_rng(0)
+        )
+        uart.write(bytes(200))
+        sim.run()
+        received = uart.read()
+        assert uart.bytes_corrupted > 50
+        assert sum(1 for b in received if b != 0) == uart.bytes_corrupted
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            UART(sim, baud=0)
+        with pytest.raises(ValueError):
+            UART(sim, framing_error_rate=1.0)
+
+
+class TestAddonProtocol:
+    def test_frames_stream_at_report_rate(self):
+        sim = Simulator(seed=1)
+        uart = UART(sim)
+        addon = DistScrollAddon(sim, uart, report_hz=50.0)
+        sim.run_until(1.0)
+        # 50 Hz nominal; float accumulation may defer the boundary tick.
+        assert 49 <= addon.frames_sent <= 51
+        data = uart.read()
+        assert len(data) == addon.frames_sent * 4
+        assert data[0] == 0xA5
+
+    def test_checksum_valid(self):
+        sim = Simulator(seed=1)
+        uart = UART(sim)
+        DistScrollAddon(sim, uart, report_hz=50.0)
+        sim.run_until(0.2)
+        data = uart.read()
+        for i in range(0, len(data), 4):
+            sync, hi, lo, checksum = data[i : i + 4]
+            assert sync == 0xA5
+            assert (hi + lo) & 0xFF == checksum
+
+    def test_stop_halts_stream(self):
+        sim = Simulator(seed=1)
+        uart = UART(sim)
+        addon = DistScrollAddon(sim, uart)
+        sim.run_until(0.5)
+        addon.stop()
+        sent = addon.frames_sent
+        sim.run_until(2.0)
+        assert addon.frames_sent == sent
+
+
+class TestPDADriver:
+    def _pair(self, n=11, seed=5, noisy=True):
+        menu = build_menu([f"Row {i}" for i in range(n)])
+        return build_pda_device(menu, seed=seed, noisy=noisy)
+
+    def test_distance_drives_highlight(self):
+        sim, addon, driver = self._pair()
+        sim.run_until(0.5)
+        for target in (10, 0, 5):
+            addon.set_distance(driver.aim_distance_for_index(target))
+            sim.run_until(sim.now + 0.5)
+            assert driver.highlighted_index == target
+
+    def test_widget_shows_eleven_rows(self):
+        sim, addon, driver = self._pair(n=11)
+        sim.run_until(0.5)
+        rows = driver.widget.visible_labels()
+        assert len(rows) == PDAListWidget.VISIBLE_ROWS
+        assert sum(1 for r in rows if r) == 11
+
+    def test_select_and_back(self):
+        menu = build_menu({"A": ["a1", "a2"], "B": [], "C": []})
+        sim, addon, driver = build_pda_device(menu, seed=2)
+        sim.run_until(0.5)
+        addon.set_distance(driver.aim_distance_for_index(0))
+        sim.run_until(sim.now + 0.5)
+        assert driver.highlighted_index == 0
+        driver.press_select()
+        assert driver.cursor.depth == 1
+        assert driver.widget.title == "A"
+        driver.press_back()
+        assert driver.cursor.depth == 0
+
+    def test_leaf_activation_callback(self):
+        activated = []
+        menu = build_menu(["A", "B", "C"])
+        sim, addon, driver = build_pda_device(menu, seed=2)
+        driver.cursor.on_activate = activated.append
+        sim.run_until(0.5)
+        addon.set_distance(driver.aim_distance_for_index(1))
+        sim.run_until(sim.now + 0.5)
+        driver.press_select()
+        assert [e.label for e in activated] == ["B"]
+
+    def test_corrupted_frames_dropped_and_resynced(self):
+        sim, addon, driver = self._pair(noisy=True)
+        # Crank up the corruption on the wire.
+        driver.uart.framing_error_rate = 0.1
+        driver.uart._rng = np.random.default_rng(7)
+        sim.run_until(3.0)
+        assert driver.frames_bad > 0
+        assert driver.frames_ok > driver.frames_bad
+        # Selection still works through the lossy link.
+        addon.set_distance(driver.aim_distance_for_index(8))
+        sim.run_until(sim.now + 1.0)
+        assert driver.highlighted_index == 8
+
+    def test_gap_holds_selection(self):
+        sim, addon, driver = self._pair()
+        sim.run_until(0.5)
+        addon.set_distance(driver.aim_distance_for_index(5))
+        sim.run_until(sim.now + 0.5)
+        d5 = driver.aim_distance_for_index(5)
+        d6 = driver.aim_distance_for_index(6)
+        addon.set_distance((d5 + d6) / 2.0)  # the gap between islands
+        sim.run_until(sim.now + 1.0)
+        assert driver.highlighted_index == 5

@@ -1,0 +1,86 @@
+"""Tests for the reactive game pilot and the islands CLI command."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.game import AltitudeGame, GameConfig, ReactivePilot
+from repro.cli import main
+from repro.hardware.board import build_distscroll_board
+from repro.interaction.hand import Hand
+from repro.sim.kernel import Simulator
+
+
+class TestReactivePilot:
+    def _setup(self, seed=8):
+        sim = Simulator(seed=seed)
+        board = build_distscroll_board(sim)
+        game = AltitudeGame(board)
+        hand = Hand(
+            sim,
+            lambda d: board.set_pose(distance_cm=d),
+            start_cm=16.0,
+            rng=sim.spawn_rng(),
+        )
+        pilot = ReactivePilot(game, hand, np.random.default_rng(seed))
+        return sim, game, pilot
+
+    def test_pilot_plays_and_scores(self):
+        sim, game, pilot = self._setup()
+        sim.run_until(30.0)
+        assert pilot.decisions > 50
+        assert game.state.score > 0
+
+    def test_pilot_outlives_an_unpiloted_game(self):
+        """Steering must reduce collisions vs a stationary aircraft."""
+        collisions = {}
+        for piloted in (True, False):
+            sim = Simulator(seed=4)
+            board = build_distscroll_board(sim)
+            game = AltitudeGame(
+                board, config=GameConfig(obstacle_rate_hz=3.0)
+            )
+            if piloted:
+                hand = Hand(
+                    sim,
+                    lambda d, b=board: b.set_pose(distance_cm=d),
+                    start_cm=16.0,
+                    rng=sim.spawn_rng(),
+                )
+                ReactivePilot(game, hand, np.random.default_rng(4))
+            sim.run_until(40.0)
+            collisions[piloted] = game.state.collisions
+        assert collisions[True] <= collisions[False]
+
+    def test_pilot_stops_on_game_over(self):
+        sim, game, pilot = self._setup()
+        game.state.game_over = True
+        sim.run_until(2.0)
+        decisions = pilot.decisions
+        sim.run_until(4.0)
+        assert pilot.decisions <= decisions + 1
+
+
+class TestIslandsCLI:
+    def test_default_table(self, capsys):
+        assert main(["islands", "--entries", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert out.count("\n") >= 8  # header + 6 slots + footer
+
+    def test_placement_choice(self, capsys):
+        assert main(["islands", "--entries", "6", "--placement",
+                     "equal-code"]) == 0
+        out = capsys.readouterr().out
+        assert "equal-code" in out
+
+    def test_island_widths_shrink_with_distance(self, capsys):
+        main(["islands", "--entries", "6"])
+        out = capsys.readouterr().out
+        widths = [
+            int(line.split()[-1])
+            for line in out.splitlines()
+            if line.strip() and line.strip()[0].isdigit()
+        ]
+        assert widths == sorted(widths, reverse=True)

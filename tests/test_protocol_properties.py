@@ -1,0 +1,161 @@
+"""Property-based tests on the wire protocols and event serialization."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    ButtonEvent,
+    ChunkChanged,
+    EntryActivated,
+    FastScroll,
+    HighlightChanged,
+    SubmenuEntered,
+    SubmenuLeft,
+    ZoomChanged,
+    decode_event,
+)
+from repro.core.menu import build_menu
+from repro.hardware.pda import build_pda_device
+from repro.hardware.serial import UART
+from repro.sim.kernel import Simulator
+
+_label = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0,
+    max_size=40,
+)
+_time = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+_index = st.integers(min_value=0, max_value=10**6)
+
+
+class TestEventRoundtrips:
+    @given(t=_time, i=_index, label=_label, p=_index)
+    @settings(max_examples=50, deadline=None)
+    def test_highlight_changed(self, t, i, label, p):
+        event = HighlightChanged(time=t, index=i, label=label,
+                                 previous_index=p)
+        assert decode_event(event.to_bytes()) == event
+
+    @given(
+        t=_time,
+        label=_label,
+        action=st.one_of(st.none(), _label),
+        path=st.lists(_label, min_size=0, max_size=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_entry_activated(self, t, label, action, path):
+        event = EntryActivated(
+            time=t, label=label, action=action, path=tuple(path)
+        )
+        decoded = decode_event(event.to_bytes())
+        assert decoded == event
+        assert isinstance(decoded.path, tuple)
+
+    @given(t=_time, label=_label, depth=_index)
+    @settings(max_examples=30, deadline=None)
+    def test_submenu_events(self, t, label, depth):
+        entered = SubmenuEntered(time=t, label=label, depth=depth)
+        left = SubmenuLeft(time=t, depth=depth)
+        assert decode_event(entered.to_bytes()) == entered
+        assert decode_event(left.to_bytes()) == left
+
+    @given(t=_time, a=_index, b=_index)
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_zoom_fast_button(self, t, a, b):
+        for event in (
+            ChunkChanged(time=t, chunk=a, n_chunks=b),
+            ZoomChanged(time=t, zoom="fine", window_start=a, window_end=b),
+            FastScroll(time=t, index=a, step=1),
+            ButtonEvent(time=t, name="select", pressed=True),
+        ):
+            assert decode_event(event.to_bytes()) == event
+
+
+class TestUARTProperties:
+    @given(payload=st.binary(min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_clean_line_roundtrip(self, payload):
+        sim = Simulator(seed=0)
+        uart = UART(sim)
+        uart.write(payload)
+        sim.run()
+        assert uart.read() == payload
+
+    @given(
+        chunks=st.lists(
+            st.binary(min_size=1, max_size=40), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_multi_write_preserves_order(self, chunks):
+        sim = Simulator(seed=0)
+        uart = UART(sim)
+        for chunk in chunks:
+            uart.write(chunk)
+        sim.run()
+        assert uart.read() == b"".join(chunks)
+
+
+class TestFrameParserProperties:
+    @given(
+        garbage=st.binary(min_size=0, max_size=30),
+        codes=st.lists(
+            st.integers(min_value=0, max_value=1023), min_size=1, max_size=10
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_parser_resyncs_after_arbitrary_garbage(self, garbage, codes):
+        """Valid frames after any garbage prefix are still decoded."""
+        sim, addon, driver = build_pda_device(
+            build_menu(["A", "B", "C"]), seed=0, noisy=False
+        )
+        addon.stop()  # silence the add-on; feed bytes by hand
+        ok_before = driver.frames_ok
+        for byte in garbage:
+            driver._on_byte(byte)
+        for code in codes:
+            hi, lo = (code >> 8) & 0xFF, code & 0xFF
+            for byte in (0xA5, hi, lo, (hi + lo) & 0xFF):
+                driver._on_byte(byte)
+        # Every intact frame must eventually be accepted.  Garbage may
+        # consume at most a few leading frames while resyncing.
+        assert driver.frames_ok - ok_before >= len(codes) - 2
+
+    @given(code=st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=50, deadline=None)
+    def test_corrupted_checksum_rejected(self, code):
+        sim, addon, driver = build_pda_device(
+            build_menu(["A", "B"]), seed=0, noisy=False
+        )
+        addon.stop()
+        bad_before = driver.frames_bad
+        hi, lo = (code >> 8) & 0xFF, code & 0xFF
+        checksum = ((hi + lo) & 0xFF) ^ 0x01  # always wrong
+        for byte in (0xA5, hi, lo, checksum):
+            driver._on_byte(byte)
+        assert driver.frames_bad == bad_before + 1
+
+
+class TestBatteryProperty:
+    @given(
+        draws=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=3600.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_state_of_charge_never_increases(self, draws):
+        from repro.hardware.battery import Battery
+
+        battery = Battery()
+        last = battery.state_of_charge
+        for current, duration in draws:
+            battery.draw(current, duration)
+            assert battery.state_of_charge <= last + 1e-12
+            last = battery.state_of_charge

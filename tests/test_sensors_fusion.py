@@ -1,0 +1,148 @@
+"""Tests for the dual-sensor fusion and the firmware's dual mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.sensors.fusion import DualRangeFinder
+from repro.sensors.gp2d120 import GP2D120
+
+
+@pytest.fixture
+def finder() -> DualRangeFinder:
+    return DualRangeFinder(GP2D120(rng=None), GP2D120(rng=None), baseline_cm=3.0)
+
+
+class TestDualRangeFinder:
+    def test_in_range_agreement(self, finder):
+        reading = finder.fuse(0.1, 15.0)
+        assert reading.valid
+        assert not reading.in_foldback
+        assert reading.distance_cm == pytest.approx(15.0, abs=0.2)
+        assert reading.disagreement_cm < 0.5
+
+    def test_foldback_detected_and_resolved(self, finder):
+        reading = finder.fuse(0.1, 2.5)
+        assert reading.valid
+        assert reading.in_foldback
+        assert reading.distance_cm == pytest.approx(2.5, abs=0.3)
+
+    def test_floor_below_both_peaks(self, finder):
+        floor = finder.usable_foldback_floor_cm()
+        assert floor == pytest.approx(1.0)
+        reading = finder.fuse(0.1, 0.5)  # both sensors folded
+        # Both inversions are aliases that disagree -> flagged foldback,
+        # or invalid; either way it must not report a confident in-range hit.
+        assert (not reading.valid) or reading.in_foldback
+
+    def test_accuracy_with_noise(self, rng):
+        finder = DualRangeFinder(
+            GP2D120.specimen(rng), GP2D120.specimen(rng), baseline_cm=3.0
+        )
+        clock = 0.0
+        for true in (2.0, 6.0, 12.0, 20.0):
+            estimates = []
+            for _ in range(16):
+                clock += 0.045
+                reading = finder.fuse(clock, true)
+                if reading.valid:
+                    estimates.append(reading.distance_cm)
+            assert np.mean(estimates) == pytest.approx(true, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualRangeFinder(GP2D120(rng=None), GP2D120(rng=None), baseline_cm=0.0)
+        with pytest.raises(ValueError):
+            DualRangeFinder(
+                GP2D120(rng=None), GP2D120(rng=None), tolerance_cm=0.0
+            )
+
+    def test_far_range_still_fuses(self, finder):
+        # Recessed sensor sees 28+3=31 cm -> out of range; primary alone.
+        reading = finder.fuse(0.1, 28.0)
+        assert reading.valid
+        assert reading.distance_cm == pytest.approx(28.0, abs=1.0)
+
+
+class TestFirmwareDualMode:
+    def _device(self, dual: bool, seed: int = 4) -> DistScroll:
+        config = DeviceConfig(
+            dual_sensor=dual, chunk_size=0, fast_scroll_enabled=False
+        )
+        return DistScroll(
+            build_menu([f"I{i}" for i in range(30)]), config=config, seed=seed
+        )
+
+    def _dive(self, device: DistScroll, depth: float) -> tuple[int, int]:
+        device.hold_at(5.5)
+        device.run_for(0.5)
+        at_crossing = device.highlighted_index
+        for d in np.linspace(5.0, depth, 8):
+            device.hold_at(float(d))
+            device.run_for(0.1)
+        device.run_for(1.5)
+        return at_crossing, device.highlighted_index
+
+    def test_deep_park_preserved_with_fusion(self):
+        device = self._device(dual=True)
+        before, after = self._dive(device, 1.5)
+        assert after == before
+
+    def test_deep_park_lost_without_fusion(self):
+        device = self._device(dual=False)
+        before, after = self._dive(device, 1.5)
+        assert after != before  # the honest single-sensor limitation
+
+    def test_normal_scrolling_unaffected(self):
+        # A realistic chunk-sized level: islands are wide enough that the
+        # highlight must land exactly (30 flat entries would be noise
+        # limited at the far end in *either* mode — that is what EXT-LONG
+        # measures, not a fusion property).
+        config = DeviceConfig(dual_sensor=True, fast_scroll_enabled=False)
+        device = DistScroll(
+            build_menu([f"I{i}" for i in range(10)]), config=config, seed=4
+        )
+        firmware = device.firmware
+        for index in (0, 3, 6, 9):
+            device.hold_at(firmware.aim_distance_for_index(index))
+            device.run_for(0.4)
+            assert device.highlighted_index == index
+
+    def test_dual_fast_scroll_still_works(self):
+        config = DeviceConfig(dual_sensor=True, chunk_size=0,
+                              fast_scroll_enabled=True)
+        device = DistScroll(
+            build_menu([f"I{i}" for i in range(30)]), config=config, seed=4
+        )
+        device.hold_at(20.0)
+        device.run_for(0.4)
+        device.hold_at(3.0)  # clearly in fold-back, fusion-confirmed
+        device.run_for(1.0)
+        fast = [e for _, e in device.events() if e.kind == "FastScroll"]
+        assert len(fast) >= 5
+
+    def test_dual_mode_requires_spare_sensor(self, sim):
+        from repro.core.firmware import Firmware
+        from repro.hardware.board import build_distscroll_board
+
+        board = build_distscroll_board(sim, fit_spare_sensor=False)
+        with pytest.raises(ValueError):
+            Firmware(
+                board,
+                build_menu(["A", "B"]),
+                DeviceConfig(dual_sensor=True),
+            )
+
+    def test_dual_mode_fits_mcu_budget(self):
+        device = self._device(dual=True)
+        device.hold_at(15.0)
+        device.run_for(1.0)
+        assert device.board.mcu.flash_free > 0
+        utilization = device.board.mcu.tick_utilization(
+            device.config.firmware_period_s
+        )
+        assert utilization < 1.0

@@ -1,0 +1,165 @@
+"""Tests for the GP2D120 sensor physics model (§4.2 behaviours)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors.gp2d120 import GP2D120, GP2D120Params, SENSOR_MAX_CM, SENSOR_MIN_CM
+from repro.sensors.surfaces import CLOTHING, Surface
+
+
+class TestTransferFunction:
+    def test_datasheet_anchor_points(self, ideal_sensor):
+        """~2.75 V at 4 cm, ~0.4 V at 30 cm (datasheet typicals)."""
+        assert ideal_sensor.ideal_voltage(4.0) == pytest.approx(2.75, abs=0.15)
+        assert ideal_sensor.ideal_voltage(30.0) == pytest.approx(0.40, abs=0.1)
+
+    def test_monotone_decreasing_in_range(self, ideal_sensor):
+        d = np.linspace(SENSOR_MIN_CM, SENSOR_MAX_CM, 100)
+        v = np.array([ideal_sensor.ideal_voltage(x) for x in d])
+        assert (np.diff(v) < 0).all()
+
+    def test_foldback_rises_below_peak(self, ideal_sensor):
+        """If the device is moved too close, the values decline again."""
+        d = np.linspace(0.2, SENSOR_MIN_CM, 50)
+        v = np.array([ideal_sensor.ideal_voltage(x) for x in d])
+        assert (np.diff(v) > 0).all()
+
+    def test_foldback_steeper_than_in_range(self, ideal_sensor):
+        """'much faster declining sensor values between 0 and 4 cms'."""
+        foldback_slope = abs(
+            ideal_sensor.ideal_voltage(3.0) - ideal_sensor.ideal_voltage(2.0)
+        )
+        in_range_slope = abs(
+            ideal_sensor.ideal_voltage(10.0) - ideal_sensor.ideal_voltage(11.0)
+        )
+        assert foldback_slope > 3 * in_range_slope
+
+    def test_beyond_range_returns_floor(self, ideal_sensor):
+        assert ideal_sensor.ideal_voltage(35.0) == pytest.approx(
+            ideal_sensor.params.floor_voltage, rel=0.2
+        )
+
+    def test_peak_is_global_maximum(self, ideal_sensor):
+        peak = ideal_sensor.ideal_voltage(ideal_sensor.params.peak_distance_cm)
+        d = np.linspace(0.1, 35.0, 300)
+        v = np.array([ideal_sensor.ideal_voltage(x) for x in d])
+        assert peak >= v.max()
+
+    def test_in_range_predicate(self, ideal_sensor):
+        assert ideal_sensor.in_range(10.0)
+        assert not ideal_sensor.in_range(3.0)
+        assert not ideal_sensor.in_range(31.0)
+
+    @given(d=st.floats(min_value=0.1, max_value=40.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_property_output_bounded(self, d):
+        sensor = GP2D120(rng=None)
+        v = sensor.ideal_voltage(d)
+        assert 0.0 <= v <= sensor.params.saturation_voltage
+
+
+class TestInversion:
+    def test_roundtrip_on_monotone_branch(self, ideal_sensor):
+        for d in (4.5, 8.0, 15.0, 28.0):
+            v = ideal_sensor.ideal_voltage(d)
+            assert ideal_sensor.distance_for_voltage(v) == pytest.approx(
+                d, rel=1e-6
+            )
+
+    def test_out_of_branch_voltage_rejected(self, ideal_sensor):
+        with pytest.raises(ValueError):
+            ideal_sensor.distance_for_voltage(4.0)
+        with pytest.raises(ValueError):
+            ideal_sensor.distance_for_voltage(0.05)
+
+    def test_foldback_aliases_to_in_range(self, ideal_sensor):
+        """Every fold-back voltage equals some in-range distance's voltage."""
+        v = ideal_sensor.ideal_voltage(2.0)
+        alias = ideal_sensor.distance_for_voltage(v)
+        assert SENSOR_MIN_CM < alias < SENSOR_MAX_CM
+
+
+class TestSampling:
+    def test_zero_order_hold_within_cycle(self, rng):
+        sensor = GP2D120(rng=rng)
+        t = 1.0
+        first = sensor.output_voltage(t, 10.0)
+        within = sensor.output_voltage(t + sensor.params.cycle_time_s * 0.4, 10.0)
+        assert first == within
+
+    def test_fresh_measurement_next_cycle(self, rng):
+        sensor = GP2D120(rng=rng)
+        t = 1.0
+        first = sensor.output_voltage(t, 10.0)
+        later = sensor.output_voltage(t + sensor.params.cycle_time_s * 2.5, 10.0)
+        assert first != later  # fresh noise draw
+
+    def test_noise_scale(self, rng):
+        sensor = GP2D120(rng=rng)
+        cycle = sensor.params.cycle_time_s
+        samples = [
+            sensor.output_voltage(i * cycle * 1.1, 15.0) for i in range(300)
+        ]
+        assert np.std(samples) == pytest.approx(
+            sensor.params.noise_rms, rel=0.4
+        )
+
+    def test_noiseless_sensor_is_exact(self, ideal_sensor):
+        assert ideal_sensor.output_voltage(0.1, 10.0) == pytest.approx(
+            ideal_sensor.ideal_voltage(10.0)
+        )
+
+
+class TestSurfaces:
+    def test_clothing_color_nearly_does_not_matter(self):
+        """<8% output change between white shirt and black jacket."""
+        white = GP2D120(rng=None, surface=CLOTHING["white_shirt"])
+        black = GP2D120(rng=None, surface=CLOTHING["black_jacket"])
+        for d in (5.0, 15.0, 25.0):
+            ratio = black.ideal_voltage(d) / white.ideal_voltage(d)
+            assert 0.92 < ratio < 1.08
+
+    def test_specular_boundary_surface_corrupts_readings(self, rng):
+        sensor = GP2D120(rng=rng, surface=CLOTHING["mirror_patchwork"])
+        cycle = sensor.params.cycle_time_s
+        readings = np.array(
+            [sensor.output_voltage(i * cycle * 1.1, 20.0) for i in range(200)]
+        )
+        expected = sensor.ideal_voltage(20.0)
+        outliers = np.abs(readings - expected) > 0.3
+        assert outliers.mean() > 0.2  # a large fraction corrupted
+
+    def test_benign_clothing_does_not_corrupt(self, rng):
+        sensor = GP2D120(rng=rng, surface=CLOTHING["gray_fleece"])
+        cycle = sensor.params.cycle_time_s
+        readings = np.array(
+            [sensor.output_voltage(i * cycle * 1.1, 20.0) for i in range(200)]
+        )
+        expected = sensor.ideal_voltage(20.0)
+        assert (np.abs(readings - expected) < 0.2).all()
+
+    def test_surface_validation(self):
+        with pytest.raises(ValueError):
+            Surface("bad", reflectivity=1.5)
+        with pytest.raises(ValueError):
+            Surface("bad", specularity=-0.1)
+
+
+class TestSpecimens:
+    def test_specimen_variation_is_bounded(self, rng):
+        voltages = []
+        for _ in range(20):
+            specimen = GP2D120.specimen(rng)
+            voltages.append(specimen.ideal_voltage(10.0))
+        spread = (max(voltages) - min(voltages)) / np.mean(voltages)
+        assert 0.0 < spread < 0.5
+
+    def test_specimens_keep_datasheet_shape(self, rng):
+        for _ in range(10):
+            specimen = GP2D120.specimen(rng)
+            assert specimen.ideal_voltage(5.0) > specimen.ideal_voltage(15.0)
+            assert specimen.ideal_voltage(15.0) > specimen.ideal_voltage(29.0)

@@ -1,0 +1,165 @@
+"""Tests for the streaming filters used by the firmware."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.filters import (
+    ExponentialMovingAverage,
+    HysteresisQuantizer,
+    MedianFilter,
+    MovingAverage,
+    RateLimiter,
+)
+
+
+class TestExponentialMovingAverage:
+    def test_first_sample_passes_through(self):
+        ema = ExponentialMovingAverage(alpha=0.3)
+        assert ema.update(5.0) == 5.0
+
+    def test_converges_to_constant_input(self):
+        ema = ExponentialMovingAverage(alpha=0.5)
+        for _ in range(50):
+            value = ema.update(3.0)
+        assert value == pytest.approx(3.0)
+
+    def test_alpha_one_is_passthrough(self):
+        ema = ExponentialMovingAverage(alpha=1.0)
+        ema.update(1.0)
+        assert ema.update(9.0) == 9.0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=1.5)
+
+    def test_reset_forgets(self):
+        ema = ExponentialMovingAverage(alpha=0.1)
+        ema.update(100.0)
+        ema.reset()
+        assert ema.value is None
+        assert ema.update(1.0) == 1.0
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        ema = ExponentialMovingAverage(alpha=0.1)
+        outputs = [ema.update(1.0 + rng.normal(0, 0.5)) for _ in range(500)]
+        assert np.std(outputs[100:]) < 0.25
+
+
+class TestMovingAverage:
+    def test_partial_window_mean(self):
+        ma = MovingAverage(window=4)
+        assert ma.update(2.0) == 2.0
+        assert ma.update(4.0) == 3.0
+
+    def test_full_window_slides(self):
+        ma = MovingAverage(window=2)
+        ma.update(1.0)
+        ma.update(3.0)
+        assert ma.update(5.0) == 4.0  # mean of (3, 5)
+
+    def test_full_flag(self):
+        ma = MovingAverage(window=3)
+        ma.update(1.0)
+        assert not ma.full
+        ma.update(1.0)
+        ma.update(1.0)
+        assert ma.full
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            MovingAverage(window=0)
+
+
+class TestMedianFilter:
+    def test_kills_isolated_spike(self):
+        med = MedianFilter(window=3)
+        med.update(10.0)
+        med.update(10.0)
+        assert med.update(500.0) == 10.0  # spike suppressed
+
+    def test_median_of_even_window(self):
+        med = MedianFilter(window=4)
+        outputs = [med.update(v) for v in (1.0, 2.0, 3.0, 4.0)]
+        assert outputs[-1] == 2.5
+
+    def test_window_one_is_passthrough(self):
+        med = MedianFilter(window=1)
+        assert med.update(7.0) == 7.0
+
+    def test_reset(self):
+        med = MedianFilter(window=3)
+        med.update(100.0)
+        med.reset()
+        assert med.update(1.0) == 1.0
+
+
+class TestHysteresisQuantizer:
+    def test_initial_level_rounds(self):
+        q = HysteresisQuantizer(step=1.0, margin=0.2)
+        assert q.update(2.4) == 2
+
+    def test_small_wiggle_does_not_change_level(self):
+        q = HysteresisQuantizer(step=1.0, margin=0.2)
+        q.update(2.0)
+        assert q.update(2.55) == 2  # within margin past boundary
+        assert q.update(2.69) == 2
+
+    def test_decisive_move_changes_level(self):
+        q = HysteresisQuantizer(step=1.0, margin=0.2)
+        q.update(2.0)
+        assert q.update(2.9) == 3
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            HysteresisQuantizer(step=1.0, margin=0.6)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_no_chatter_on_tiny_oscillation(self, values):
+        """After settling, ±margin/2 oscillation never changes the level."""
+        q = HysteresisQuantizer(step=1.0, margin=0.3)
+        for v in values:
+            q.update(v)
+        level = q.level
+        center = level * 1.0
+        for delta in (0.6, -0.6, 0.6, -0.6):
+            assert q.update(center + delta * 0.3 / 2) == level
+
+
+class TestRateLimiter:
+    def test_first_sample_passes(self):
+        rl = RateLimiter(max_rate=1.0)
+        assert rl.update(0.0, 10.0) == 10.0
+
+    def test_limits_slew(self):
+        rl = RateLimiter(max_rate=2.0)
+        rl.update(0.0, 0.0)
+        assert rl.update(1.0, 10.0) == 2.0
+        assert rl.update(2.0, 10.0) == 4.0
+
+    def test_reaches_target_within_rate(self):
+        rl = RateLimiter(max_rate=100.0)
+        rl.update(0.0, 0.0)
+        assert rl.update(1.0, 5.0) == 5.0
+
+    def test_negative_direction(self):
+        rl = RateLimiter(max_rate=1.0)
+        rl.update(0.0, 0.0)
+        assert rl.update(1.0, -10.0) == -1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(max_rate=0.0)

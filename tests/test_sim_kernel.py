@@ -1,0 +1,270 @@
+"""Unit and property tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import PeriodicTask, Process, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_schedule_runs_at_time(self, sim):
+        fired = []
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        sim.run_until(1.0)
+        assert fired == [0.5]
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run_until(2.5)
+        assert sim.now == 2.5
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(0.3, lambda: order.append("b"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.7, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self, sim):
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_time_ties(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=1)
+        sim.schedule(1.0, lambda: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_run_until_past_rejected(self, sim):
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(0.5, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_event_scheduled_during_event_runs(self, sim):
+        fired = []
+
+        def outer():
+            sim.schedule(0.5, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [1.5]
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(7):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_run_max_events_stops_early(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_boundary_event_at_run_until_time_runs(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run_until(1.0)
+        assert fired == [1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_stream(self):
+        a = Simulator(seed=7).rng.random(5)
+        b = Simulator(seed=7).rng.random(5)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=7).rng.random(5)
+        b = Simulator(seed=8).rng.random(5)
+        assert not (a == b).all()
+
+    def test_spawn_rng_streams_are_decorrelated(self, sim):
+        a = sim.spawn_rng().random(100)
+        b = sim.spawn_rng().random(100)
+        assert not (a == b).all()
+
+    def test_spawn_rng_reproducible_across_simulators(self):
+        s1, s2 = Simulator(seed=3), Simulator(seed=3)
+        assert (s1.spawn_rng().random(10) == s2.spawn_rng().random(10)).all()
+
+
+class TestProcess:
+    def test_generator_process_ticks(self, sim):
+        ticks = []
+
+        def body():
+            for _ in range(3):
+                ticks.append(sim.now)
+                yield 1.0
+
+        Process(sim, body())
+        sim.run()
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_process_start_delay(self, sim):
+        ticks = []
+
+        def body():
+            ticks.append(sim.now)
+            yield 0.5
+            ticks.append(sim.now)
+
+        Process(sim, body(), start_delay=2.0)
+        sim.run()
+        assert ticks == [2.0, 2.5]
+
+    def test_kill_stops_process(self, sim):
+        ticks = []
+
+        def body():
+            while True:
+                ticks.append(sim.now)
+                yield 1.0
+
+        process = Process(sim, body())
+        sim.run_until(2.5)
+        process.kill()
+        sim.run_until(10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+        assert not process.alive
+
+    def test_process_finishes_naturally(self, sim):
+        def body():
+            yield 1.0
+
+        process = Process(sim, body())
+        sim.run()
+        assert not process.alive
+
+    def test_invalid_yield_raises(self, sim):
+        def body():
+            yield -1.0
+
+        Process(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestPeriodicTask:
+    def test_fires_at_period(self, sim):
+        ticks = []
+        PeriodicTask(sim, 0.25, lambda: ticks.append(sim.now))
+        sim.run_until(1.0)
+        assert ticks == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_phase_controls_first_fire(self, sim):
+        ticks = []
+        PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now), phase=0.0)
+        sim.run_until(2.0)
+        assert ticks == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_stop_prevents_future_fires(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 0.5, lambda: ticks.append(sim.now))
+        sim.run_until(1.0)
+        task.stop()
+        sim.run_until(5.0)
+        assert len(ticks) == 2
+        assert not task.running
+
+    def test_zero_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_jitter_keeps_firing(self, sim):
+        ticks = []
+        PeriodicTask(sim, 0.1, lambda: ticks.append(sim.now), jitter=0.01)
+        sim.run_until(2.0)
+        # Roughly 20 fires expected; jitter must not stall or explode.
+        assert 10 <= len(ticks) <= 30
+
+    def test_stop_from_within_callback(self, sim):
+        ticks = []
+        task_holder = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                task_holder["t"].stop()
+
+        task_holder["t"] = PeriodicTask(sim, 0.1, tick)
+        sim.run_until(10.0)
+        assert len(ticks) == 3
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_events_execute_in_nondecreasing_time_order(delays):
+    """However events are scheduled, execution times never decrease."""
+    sim = Simulator(seed=0)
+    seen = []
+    for delay in delays:
+        sim.schedule(delay, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+@given(
+    periods=st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    ),
+    horizon=st.floats(min_value=0.5, max_value=10.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_periodic_task_fire_counts(periods, horizon):
+    """Each task fires floor(horizon/period) times (no jitter)."""
+    sim = Simulator(seed=0)
+    counters = [0] * len(periods)
+
+    def make_cb(i):
+        def cb():
+            counters[i] += 1
+        return cb
+
+    for i, period in enumerate(periods):
+        PeriodicTask(sim, period, make_cb(i))
+    sim.run_until(horizon)
+    for period, count in zip(periods, counters):
+        expected = int(horizon / period + 1e-9)
+        assert abs(count - expected) <= 1

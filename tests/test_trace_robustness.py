@@ -1,0 +1,150 @@
+"""Tests for the tracer plus whole-system robustness properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DeviceConfig
+from repro.core.device import DistScroll
+from repro.core.events import ZoomChanged, decode_event
+from repro.core.menu import build_menu
+from repro.sim.trace import Tracer
+
+
+class TestTracer:
+    def test_record_and_read(self):
+        tracer = Tracer()
+        tracer.record("ch", 0.1, 5)
+        tracer.record("ch", 0.2, 7)
+        channel = tracer.channel("ch")
+        assert len(channel) == 2
+        assert list(channel) == [(0.1, 5), (0.2, 7)]
+        assert channel.last() == (0.2, 7)
+
+    def test_numpy_views(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record("ch", i * 0.1, float(i))
+        channel = tracer.channel("ch")
+        assert channel.times.shape == (5,)
+        assert channel.values.dtype == float
+
+    def test_heterogeneous_values_fall_back_to_object(self):
+        tracer = Tracer()
+        tracer.record("ch", 0.0, "text")
+        tracer.record("ch", 0.1, 3)
+        assert tracer.channel("ch").values.dtype == object
+
+    def test_between(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.record("ch", float(i), i)
+        window = tracer.channel("ch").between(2.0, 4.0)
+        assert [v for _, v in window] == [2, 3, 4]
+
+    def test_count_changes(self):
+        tracer = Tracer()
+        for value in (1, 1, 2, 2, 3, 1):
+            tracer.record("ch", 0.0, value)
+        assert tracer.channel("ch").count_changes() == 3
+
+    def test_subscribers_fire_even_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        got = []
+        tracer.subscribe("ch", lambda t, v: got.append(v))
+        tracer.record("ch", 0.0, 42)
+        assert got == [42]
+        assert tracer.get("ch") is None  # nothing stored
+
+    def test_unsubscribe(self):
+        tracer = Tracer()
+        got = []
+        cb = lambda t, v: got.append(v)  # noqa: E731
+        tracer.subscribe("ch", cb)
+        tracer.unsubscribe("ch", cb)
+        tracer.record("ch", 0.0, 1)
+        assert got == []
+
+    def test_empty_channel_last_raises(self):
+        tracer = Tracer()
+        with pytest.raises(LookupError):
+            tracer.channel("empty").last()
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("ch", 0.0, 1)
+        tracer.clear()
+        assert tracer.channels() == []
+
+
+class TestZoomEventSerialization:
+    def test_roundtrip(self):
+        event = ZoomChanged(time=1.0, zoom="fine", window_start=5,
+                            window_end=14)
+        assert decode_event(event.to_bytes()) == event
+
+
+class TestSystemRobustness:
+    """Fuzz the physical inputs: nothing may crash, invariants must hold."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        distances=st.lists(
+            st.floats(min_value=0.2, max_value=45.0, allow_nan=False),
+            min_size=3,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_distance_walk_keeps_invariants(self, seed, distances):
+        device = DistScroll(
+            build_menu([f"I{i}" for i in range(12)]), seed=seed
+        )
+        for distance in distances:
+            device.hold_at(distance)
+            device.run_for(0.15)
+            assert 0 <= device.highlighted_index < 12
+            assert device.board.mcu.ram_free >= 0
+        # Event stream timestamps are monotone.
+        times = [t for t, _ in device.events()]
+        assert times == sorted(times)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        buttons=st.lists(
+            st.sampled_from(["select", "back", "aux"]), min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_button_mashing_never_crashes(self, seed, buttons):
+        device = DistScroll(
+            build_menu(
+                {"A": ["a1", "a2"], "B": {"C": ["c1"]}, "D": [], "E": []}
+            ),
+            seed=seed,
+        )
+        device.run_for(0.2)
+        for name in buttons:
+            device.click(name)
+            assert device.depth >= 0
+            entries = device.firmware.cursor.entries
+            assert 0 <= device.highlighted_index < len(entries)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_sdaz_random_walk(self, seed):
+        config = DeviceConfig(long_menu_mode="sdaz", chunk_size=10)
+        device = DistScroll(
+            build_menu([f"I{i}" for i in range(40)]), config=config,
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(8):
+            device.hold_at(float(rng.uniform(2.0, 32.0)))
+            device.run_for(0.3)
+            assert 0 <= device.highlighted_index < 40
+            assert device.firmware.zoom in ("coarse", "fine")

@@ -1,0 +1,34 @@
+"""ROB-FAULT — fault-injection robustness sweep of the full stack."""
+
+from __future__ import annotations
+
+from repro.experiments.fault_sweep import run_fault_sweep
+
+
+def test_bench_fault_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        run_fault_sweep, kwargs={"seed": 0}, rounds=1, iterations=1,
+    )
+    report(result)
+    rates = result.column("error_rate")
+    # Healthy hardware selects reliably; error rate never decreases as
+    # fault intensity rises, and full intensity visibly degrades it.
+    assert rates[0] <= 0.10
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] > rates[0]
+    # Every injected fault is paired with a firmware recovery record.
+    assert all(v == 0 for v in result.column("unpaired_faults"))
+
+
+def test_bench_fault_sweep_smoke(benchmark, report):
+    """Cheap two-point config for the CI smoke job."""
+    result = benchmark.pedantic(
+        run_fault_sweep,
+        kwargs={"seed": 0, "intensities": (0.0, 0.6), "trials": 8},
+        rounds=1, iterations=1,
+    )
+    result.experiment_id = "ROB-FAULT_smoke"
+    report(result)
+    rates = result.column("error_rate")
+    assert rates[-1] >= rates[0]
+    assert all(v == 0 for v in result.column("unpaired_faults"))

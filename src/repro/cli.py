@@ -26,6 +26,7 @@ from repro.experiments import (
     run_calibration_ablation,
     run_direction,
     run_distance_profile,
+    run_fault_sweep,
     run_fig4,
     run_fig5,
     run_firmware_ablation,
@@ -80,6 +81,7 @@ EXPERIMENT_RUNNERS: dict[str, Callable[[int], ExperimentResult]] = {
         seed=seed, n_specimens=3, n_trials=5
     ),
     "EXT-POWER": lambda seed: run_power(seed=seed, window_s=45.0),
+    "ROB-FAULT": lambda seed: run_fault_sweep(seed=seed),
     "EXT-BREADTH": lambda seed: run_breadth(seed=seed, n_tasks=4, n_users=2),
 }
 

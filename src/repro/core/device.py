@@ -27,6 +27,7 @@ from typing import Callable, Optional
 from repro.core.config import DeviceConfig
 from repro.core.events import InteractionEvent
 from repro.core.firmware import Firmware
+from repro.faults import FaultPlan
 from repro.core.sdaz import SDAZFirmware
 from repro.core.menu import MenuEntry, build_menu
 from repro.hardware.board import DistScrollBoard, build_distscroll_board
@@ -56,6 +57,10 @@ class DistScroll:
     simulator:
         Attach to an existing simulator instead of creating one — used
         when a simulated user and the device must share a clock.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` installed on the board
+        before the firmware boots; every injection and firmware recovery
+        lands on :attr:`tracer` (channels ``"faults"``/``"fault.recovery"``).
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class DistScroll:
         layout: ButtonLayout = RIGHT_HANDED_LAYOUT,
         noisy: bool = True,
         simulator: Optional[Simulator] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not isinstance(menu, MenuEntry):
             menu = build_menu(menu)
@@ -74,6 +80,9 @@ class DistScroll:
         self.board: DistScrollBoard = build_distscroll_board(
             self.sim, layout=layout, noisy=noisy
         )
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.install(self.board, tracer=self.tracer)
         self.config = config or DeviceConfig()
         firmware_cls = (
             SDAZFirmware if self.config.long_menu_mode == "sdaz" else Firmware

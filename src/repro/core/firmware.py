@@ -40,6 +40,8 @@ from repro.core.events import (
 )
 from repro.core.islands import IslandMap, build_island_map
 from repro.core.menu import MenuCursor, MenuEntry
+from repro.faults import FaultKind
+from repro.hardware.i2c import I2CError
 from repro.hardware.board import (
     ADC_CHANNEL_DISTANCE,
     ADC_CHANNEL_DISTANCE_SPARE,
@@ -116,6 +118,19 @@ class Firmware:
         self._display_dirty = True
         self._last_render_time = -math.inf
         self._halted = False
+
+        # Graceful-degradation state (see repro.faults): render retry with
+        # exponential backoff after I2C failures, a display watchdog that
+        # re-renders after controller resets, and a brown-out hold that
+        # rides out transient battery sag instead of halting.
+        self._render_backoff_s = 0.0
+        self._render_retry_at = -math.inf
+        self._seen_display_resets = 0
+        self._brownout_holding = False
+        self.i2c_render_failures = 0
+        self.i2c_render_recoveries = 0
+        self.display_watchdog_rerenders = 0
+        self.brownout_holds = 0
 
         self.raw_code: int = 0
         self.filtered_code: int = 0
@@ -390,12 +405,31 @@ class Firmware:
         if self._halted:
             return
         board = self.board
+        now = self._sim.now
+        self._service_faults(now)
         if board.battery.browned_out:
+            plan = board.fault_plan
+            if plan is not None and (
+                plan.active_window(FaultKind.BATTERY_SAG, now) is not None
+            ):
+                # Fault-induced sag: the regulator dropped out but the cell
+                # is fine.  Hold (skip the tick) and resume when it clears
+                # rather than latching a permanent halt.
+                if not self._brownout_holding:
+                    self._brownout_holding = True
+                    self.brownout_holds += 1
+                return
             self.halt()
             return
+        if self._brownout_holding:
+            self._brownout_holding = False
+            # Power came back: the signal chain must re-acquire and the
+            # panels need a refresh.
+            self._filter.reset()
+            self._last_valid_code = None
+            self._display_dirty = True
         mcu = board.mcu
         mcu.begin_tick()
-        now = self._sim.now
 
         for button in board.buttons.values():
             button.poll(now)
@@ -577,16 +611,90 @@ class Firmware:
             self._display_dirty = True
 
     def _render_if_dirty(self) -> None:
-        if self._halted or not self._display_dirty:
+        if self._halted or self._brownout_holding:
+            return
+        now = self._sim.now
+        # Display watchdog: a controller reset blanks the panel without the
+        # firmware issuing anything — detect it and schedule a re-render.
+        board = self.board
+        resets = board.display_top.resets + board.display_bottom.resets
+        if resets != self._seen_display_resets:
+            self._seen_display_resets = resets
+            self._display_dirty = True
+            self.display_watchdog_rerenders += 1
+            plan = board.fault_plan
+            if plan is not None:
+                self._record_recovery_for_kind(
+                    FaultKind.DISPLAY_RESET, now, "watchdog-rerender"
+                )
+        if not self._display_dirty or now < self._render_retry_at:
             return
         self._display_dirty = False
-        self._render_menu()
-        if self._host_message is not None:
-            self._write_bottom(self._host_message)
-        elif self.config.debug_display:
-            self._render_debug()
-        else:
-            self._render_state()
+        try:
+            self._render_menu()
+            if self._host_message is not None:
+                self._write_bottom(self._host_message)
+            elif self.config.debug_display:
+                self._render_debug()
+            else:
+                self._render_state()
+        except I2CError:
+            # Bus trouble survived the bus-level retries: keep the frame
+            # dirty and come back with exponential backoff, as the C
+            # firmware's display task does.
+            self.i2c_render_failures += 1
+            self._display_dirty = True
+            self._render_backoff_s = min(
+                max(2.0 * self._render_backoff_s,
+                    2.0 / self.config.display_refresh_hz),
+                0.8,
+            )
+            self._render_retry_at = now + self._render_backoff_s
+            return
+        if self._render_backoff_s > 0.0:
+            # A full frame landed after one or more failed attempts.
+            self.i2c_render_recoveries += 1
+            self._record_recovery_for_kind(
+                FaultKind.I2C_ERROR, now, "render-retry-backoff"
+            )
+            self._render_backoff_s = 0.0
+            self._render_retry_at = -math.inf
+
+    def _record_recovery_for_kind(
+        self, kind: FaultKind, now: float, action: str
+    ) -> None:
+        """Publish a firmware recovery against the active window, if any."""
+        plan = self.board.fault_plan
+        if plan is None:
+            return
+        hit = plan.active_window(kind, now)
+        if hit is not None:
+            plan.record_recovery(hit[0], now, action)
+
+    def _service_faults(self, now: float) -> None:
+        """Close out expired fault windows with their recovery actions.
+
+        Every :class:`~repro.faults.FaultWindow` is paired with a recovery
+        here: signal-path faults re-acquire the filter and plausibility
+        state, and every recovery forces a display refresh so the user
+        never looks at stale state.
+        """
+        plan = self.board.fault_plan
+        if plan is None:
+            return
+        for window_id, window in plan.expired_windows(now):
+            if window.kind in (
+                FaultKind.ADC_GLITCH,
+                FaultKind.ADC_STUCK,
+                FaultKind.SENSOR_OCCLUSION,
+                FaultKind.SENSOR_DROPOUT,
+            ):
+                self._filter.reset()
+                self._last_valid_code = None
+                self._foldback_latch = False
+                self._suspicious_streak = 0
+            self._display_dirty = True
+            plan.record_recovery(window_id, now, "window-cleared")
 
     def _menu_window(self) -> tuple[int, list[tuple[bool, str]]]:
         """The TEXT_LINES-entry window around the highlight."""

@@ -4,6 +4,7 @@ from repro.experiments.ablation_mapping import run_ablation_mapping
 from repro.experiments.breadth import build_uniform_tree, run_breadth
 from repro.experiments.calibration_ablation import run_calibration_ablation
 from repro.experiments.direction import run_direction
+from repro.experiments.fault_sweep import run_fault_sweep
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.firmware_ablation import run_firmware_ablation
@@ -31,6 +32,7 @@ __all__ = [
     "run_breadth",
     "run_calibration_ablation",
     "run_direction",
+    "run_fault_sweep",
     "run_fig4",
     "run_fig5",
     "run_firmware_ablation",

@@ -1,0 +1,144 @@
+"""ROB-FAULT — selection error rate vs. hardware fault intensity.
+
+The paper's Section 4.2 catalogues what can go wrong between the hand
+and the highlight — fold-back ambiguity, light/surface disturbances, and
+the firmware-side defenses (plausibility gate, filtering, island gaps).
+This experiment stresses the whole stack deliberately: a
+:class:`~repro.faults.FaultPlan` injects ADC glitches, I2C bus errors,
+display controller resets, RF packet loss and sensor occlusion/dropout
+at a swept *intensity* (the fraction of run time under fault, which also
+scales each fault's per-opportunity probability), while a scripted hand
+performs pointing trials.
+
+Reported per intensity: the selection error rate (trials where the
+highlight did not land on the target), the number of injected faults and
+fault windows, and the firmware's recovery counts.  Expected shape —
+and what the benchmark asserts — is a monotonically non-decreasing error
+rate, near zero when healthy, with every injected fault paired with a
+recovery record in the trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.device import DistScroll
+from repro.core.menu import build_menu
+from repro.experiments.harness import ExperimentResult
+from repro.faults import FAULT_CHANNEL, RECOVERY_CHANNEL, FaultPlan
+
+__all__ = ["run_fault_sweep", "unpaired_faults"]
+
+
+def unpaired_faults(device: DistScroll) -> set[tuple[str, int]]:
+    """Injected ``(kind, window_id)`` pairs with no recovery record.
+
+    Empty on a healthy run: the firmware closes every fault window with a
+    recovery action once the window expires.
+    """
+    injected = _trace_pairs(device, FAULT_CHANNEL)
+    recovered = _trace_pairs(device, RECOVERY_CHANNEL)
+    return injected - recovered
+
+
+def _trace_pairs(device: DistScroll, channel: str) -> set[tuple[str, int]]:
+    traced = device.tracer.get(channel)
+    if traced is None:
+        return set()
+    return {(kind, window_id) for _, (kind, window_id, _) in traced}
+
+
+def run_fault_sweep(
+    seed: int = 0,
+    intensities: tuple[float, ...] = (0.0, 0.15, 0.35, 0.6, 0.85),
+    n_entries: int = 8,
+    trials: int = 14,
+    dwell_s: float = 0.9,
+    settle_s: float = 0.6,
+) -> ExperimentResult:
+    """Sweep fault intensity; measure selection errors and recoveries.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the device (all hardware noise and fault rolls) and the
+        target sequence.
+    intensities:
+        Fault intensities in [0, 1] to sweep, in order.
+    n_entries:
+        Flat menu length (one island per entry).
+    trials:
+        Pointing trials per intensity: move to a random target's aim
+        distance, dwell, then score the highlight.
+    dwell_s:
+        Time the hand holds each aim distance — generous against the
+        ~0.2 s healthy step latency, so healthy errors stay near zero.
+    settle_s:
+        Initial settling time before the first trial.
+    """
+    result = ExperimentResult(
+        experiment_id="ROB-FAULT",
+        title="Selection error rate vs injected hardware fault intensity",
+        columns=(
+            "intensity",
+            "trials",
+            "errors",
+            "error_rate",
+            "fault_windows",
+            "faults_injected",
+            "recoveries",
+            "unpaired_faults",
+        ),
+    )
+    tail_s = 1.0  # post-trial slack so every fault window expires + recovers
+    horizon = settle_s + trials * dwell_s
+    labels = [f"Item {i}" for i in range(n_entries)]
+
+    for intensity in intensities:
+        plan = FaultPlan.for_intensity(intensity, duration_s=horizon)
+        device = DistScroll(
+            build_menu(labels), seed=seed, fault_plan=plan
+        )
+        firmware = device.firmware
+        rng = np.random.default_rng(seed + 17)
+
+        device.hold_at(firmware.aim_distance_for_index(n_entries // 2))
+        device.run_for(settle_s)
+        errors = 0
+        current = n_entries // 2
+        for _ in range(trials):
+            target = int(rng.integers(0, n_entries))
+            if target == current:
+                target = (target + 3) % n_entries
+            device.hold_at(firmware.aim_distance_for_index(target))
+            device.run_for(dwell_s)
+            if device.highlighted_index != target:
+                errors += 1
+            current = device.highlighted_index
+        device.run_for(tail_s)
+
+        unpaired = unpaired_faults(device)
+        result.add_row(
+            intensity,
+            trials,
+            errors,
+            errors / trials,
+            len(plan.windows),
+            plan.total_injections,
+            plan.total_recoveries,
+            len(unpaired),
+        )
+
+    rates = result.column("error_rate")
+    monotone = all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+    result.note(
+        f"error rate {'rises monotonically' if monotone else 'is NOT monotone'} "
+        f"from {rates[0]:.2f} (healthy) to {rates[-1]:.2f} at full intensity"
+    )
+    result.note(
+        "every injected fault must be paired with a firmware recovery "
+        "record (unpaired_faults column == 0): retry-with-backoff on I2C, "
+        "display watchdog re-render, signal-path re-acquisition on "
+        "window expiry"
+    )
+    return result

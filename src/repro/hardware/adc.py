@@ -74,10 +74,15 @@ class ADC:
         Converter electrical parameters.
     rng:
         Noise generator; ``None`` gives an ideal noiseless converter.
+    fault_hook:
+        Optional fault-injection hook ``(time_s, channel, code) -> code``
+        consulted after quantization on every conversion (see
+        :mod:`repro.faults`).  ``None`` means a healthy converter.
     """
 
     params: ADCParams = field(default_factory=ADCParams)
     rng: Optional[np.random.Generator] = None
+    fault_hook: Optional[Callable[[float, int, int], int]] = None
 
     def __post_init__(self) -> None:
         self._channels: dict[int, AnalogSource] = {}
@@ -112,7 +117,13 @@ class ADC:
             raise KeyError(f"no analog source attached to ADC channel {channel}")
         voltage = float(source(time_s))
         self.conversions += 1
-        return self._quantize(voltage)
+        code = self._quantize(voltage)
+        if self.fault_hook is not None:
+            code = int(
+                np.clip(self.fault_hook(time_s, channel, code), 0,
+                        self.params.max_code)
+            )
+        return code
 
     def sample_volts(self, time_s: float, channel: int) -> float:
         """Sample a channel and convert the code back to volts.

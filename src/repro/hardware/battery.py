@@ -14,6 +14,7 @@ must not silently run the simulated battery flat.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -59,6 +60,9 @@ class Battery:
         self._charge_mah = self.params.capacity_mah
         self._load_ma = 0.0
         self.total_drawn_mah = 0.0
+        #: Optional fault hook ``() -> volts`` of *extra* terminal sag (a
+        #: failing cell or corroded connector); see :mod:`repro.faults`.
+        self.fault_hook: Optional[Callable[[], float]] = None
 
     @property
     def state_of_charge(self) -> float:
@@ -79,6 +83,8 @@ class Battery:
     def terminal_voltage(self) -> float:
         """Voltage at the terminals under the present load."""
         sag = self._load_ma / 1000.0 * self.params.internal_resistance_ohm
+        if self.fault_hook is not None:
+            sag += max(self.fault_hook(), 0.0)
         return max(self.open_circuit_voltage() - sag, 0.0)
 
     @property

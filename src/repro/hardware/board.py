@@ -18,7 +18,10 @@ and the 9 V battery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults import FaultPlan
 
 from repro.hardware.adc import ADC, ADCParams
 from repro.hardware.battery import Battery
@@ -92,6 +95,9 @@ class DistScrollBoard:
     distance_cm: float = 25.0
     pitch_rad: float = 0.0
     roll_rad: float = 0.0
+    #: Fault-injection plan threaded through this board's hardware, set by
+    #: :meth:`repro.faults.FaultPlan.install`.  ``None`` = healthy hardware.
+    fault_plan: Optional["FaultPlan"] = None
 
     def set_pose(
         self,

@@ -20,7 +20,7 @@ The model implements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -74,6 +74,13 @@ class BT96040:
         self.lines: list[str] = [""] * TEXT_LINES
         self.contrast = 0.5
         self.updates = 0
+        #: Controller power-on resets suffered (fault injection); the
+        #: firmware's display watchdog compares this against its last-seen
+        #: value and re-renders after a reset.
+        self.resets = 0
+        #: Optional fault hook ``() -> bool``; ``True`` power-on-resets the
+        #: controller and drops the in-flight command (see :mod:`repro.faults`).
+        self.fault_hook: Optional[Callable[[], bool]] = None
 
     # ------------------------------------------------------------------
     # direct API (used by firmware through the bus helpers below)
@@ -127,8 +134,24 @@ class BT96040:
     # ------------------------------------------------------------------
     # I2C protocol
     # ------------------------------------------------------------------
+    def power_on_reset(self) -> None:
+        """Simulate a controller brown-out/reset: the panel blanks.
+
+        Contrast survives (it is set by the external potentiometer divider)
+        but framebuffer and text RAM are lost until the firmware re-renders.
+        """
+        self.framebuffer[:] = False
+        self.lines = [""] * TEXT_LINES
+        self.resets += 1
+        self.updates += 1
+
     def i2c_write(self, payload: bytes) -> None:
         """Decode one bus write: ``[command, args...]``."""
+        if self.fault_hook is not None and self.fault_hook():
+            # The controller reset mid-transaction: state is lost and the
+            # in-flight command never lands.
+            self.power_on_reset()
+            return
         if not payload:
             return
         command, args = payload[0], payload[1:]

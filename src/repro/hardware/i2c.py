@@ -15,7 +15,7 @@ so the firmware can account for the time in its loop budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 import numpy as np
 
@@ -92,6 +92,10 @@ class I2CBus:
         self._devices: dict[int, I2CDevice] = {}
         self.bytes_transferred = 0
         self.transactions = 0
+        #: Optional fault-injection hook ``() -> bool``; ``True`` fails the
+        #: current transaction attempt (see :mod:`repro.faults`).
+        self.fault_hook: Optional[Callable[[], bool]] = None
+        self.injected_errors = 0
 
     def attach(self, address: int, device: I2CDevice) -> None:
         """Put a peripheral on the bus at a 7-bit address."""
@@ -115,6 +119,9 @@ class I2CBus:
         return 9.0 / self.clock_hz
 
     def _transaction_fails(self) -> bool:
+        if self.fault_hook is not None and self.fault_hook():
+            self.injected_errors += 1
+            return True
         if self._rng is None or self.error_rate <= 0.0:
             return False
         return bool(self._rng.random() < self.error_rate)

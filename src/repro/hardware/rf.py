@@ -110,13 +110,21 @@ class RFLink:
         b._link = self
         self.packets_sent = 0
         self.packets_lost = 0
+        self.packets_duplicated = 0
         self._last_delivery_time = 0.0
+        #: Optional fault hook ``() -> "drop" | "duplicate" | None`` consulted
+        #: per packet (see :mod:`repro.faults`).
+        self.fault_hook: Optional[Callable[[], Optional[str]]] = None
 
     def _transmit(self, sender: RFEndpoint, payload: bytes) -> bool:
         peer = self._ends.get(id(sender))
         if peer is None:
             return False
         self.packets_sent += 1
+        action = self.fault_hook() if self.fault_hook is not None else None
+        if action == "drop":
+            self.packets_lost += 1
+            return True
         if self._rng is not None and self._rng.random() < self.loss_rate:
             self.packets_lost += 1
             return True
@@ -127,6 +135,13 @@ class RFLink:
         deliver_at = max(self._sim.now + delay, self._last_delivery_time)
         self._last_delivery_time = deliver_at
         self._sim.schedule_at(deliver_at, lambda: peer._deliver(packet))
+        if action == "duplicate":
+            # A retransmission the receiver cannot deduplicate: the same
+            # frame arrives again one serialization time later, in order.
+            self.packets_duplicated += 1
+            dup_at = deliver_at + size_bits / self.bitrate_bps
+            self._last_delivery_time = dup_at
+            self._sim.schedule_at(dup_at, lambda: peer._deliver(packet))
         return True
 
     @property

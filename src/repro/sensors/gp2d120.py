@@ -25,7 +25,7 @@ on pathological specular surfaces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -120,6 +120,10 @@ class GP2D120:
     rng: Optional[np.random.Generator] = None
     surface: Surface = REFERENCE_SURFACE
     ambient: AmbientLight = REFERENCE_LIGHT
+    #: Optional fault hook ``(time_s, voltage) -> voltage | None``: lets a
+    #: :class:`repro.faults.FaultPlan` occlude the beam or drop the return
+    #: signal entirely (see :mod:`repro.faults`).
+    fault_hook: Optional[Callable[[float, float], Optional[float]]] = None
 
     def __post_init__(self) -> None:
         self._held_voltage: Optional[float] = None
@@ -201,6 +205,12 @@ class GP2D120:
         if cycle != self._last_cycle_index or self._held_voltage is None:
             self._last_cycle_index = cycle
             self._held_voltage = self._measure(distance_cm)
+        if self.fault_hook is not None:
+            override = self.fault_hook(time_s, self._held_voltage)
+            if override is not None:
+                return float(
+                    np.clip(override, 0.0, self.params.saturation_voltage)
+                )
         return self._held_voltage
 
     def _measure(self, distance_cm: float) -> float:

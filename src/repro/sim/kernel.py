@@ -84,6 +84,7 @@ class Simulator:
         self._now = float(start_time)
         self._seq = itertools.count()
         self._running = False
+        self._finished = False
         self._seed_seq = np.random.SeedSequence(seed)
         self.rng: np.random.Generator = np.random.default_rng(
             self._seed_seq.spawn(1)[0]
@@ -102,6 +103,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events executed so far (for benchmarks/tracing)."""
         return self._event_count
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`run` drained the queue (resets on new events)."""
+        return self._finished
 
     def spawn_rng(self) -> np.random.Generator:
         """Return an independent random generator.
@@ -125,9 +131,14 @@ class Simulator:
         Returns the :class:`Event`, which the caller may :meth:`Event.cancel`.
         """
         if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+            raise SimulationError(
+                f"cannot schedule in the past (delay={delay}): the simulated "
+                f"clock is at {self._now} and only moves forward — use a "
+                "delay >= 0, or schedule_at() with a future absolute time"
+            )
         event = Event(self._now + delay, priority, next(self._seq), callback)
         heapq.heappush(self._queue, event)
+        self._finished = False
         return event
 
     def schedule_at(
@@ -139,7 +150,9 @@ class Simulator:
         """Schedule ``callback`` at an absolute simulated time."""
         if time < self._now:
             raise SimulationError(
-                f"cannot schedule at {time} (now is {self._now})"
+                f"cannot schedule at t={time}: the clock already reached "
+                f"{self._now} and never rewinds — pick a time >= now, or "
+                "create a fresh Simulator for a new run"
             )
         return self.schedule(time - self._now, callback, priority)
 
@@ -181,12 +194,29 @@ class Simulator:
         self._now = end_time
 
     def run(self, max_events: Optional[int] = None) -> None:
-        """Run until the event queue drains (or ``max_events`` executed)."""
+        """Run until the event queue drains (or ``max_events`` executed).
+
+        Raises
+        ------
+        SimulationError
+            If the simulator already ran to completion and nothing new was
+            scheduled since — a silent no-op here almost always means the
+            caller forgot to schedule work or meant to build a new run.
+        """
+        if self._finished and not any(
+            not event.cancelled for event in self._queue
+        ):
+            raise SimulationError(
+                "this simulator already ran to completion and the event "
+                "queue is empty — schedule new events before calling run() "
+                "again, or create a fresh Simulator for a new run"
+            )
         executed = 0
         while self.step():
             executed += 1
             if max_events is not None and executed >= max_events:
                 return
+        self._finished = True
 
     def run_while(self, condition: Callable[[], bool], max_time: float) -> None:
         """Run while ``condition()`` holds, but never past ``max_time``.

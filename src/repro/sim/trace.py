@@ -133,3 +133,18 @@ class Tracer:
     def clear(self) -> None:
         """Drop all recorded data (subscribers stay registered)."""
         self._channels.clear()
+
+    def serialize(self) -> bytes:
+        """Stable byte serialization of every channel.
+
+        Channels are emitted in sorted name order, records in insertion
+        order, each as ``repr(time)|repr(value)``.  Two runs of the same
+        seeded simulation must produce byte-identical serializations —
+        the determinism regression tests compare exactly these bytes.
+        """
+        parts: list[bytes] = []
+        for name in self.channels():
+            parts.append(name.encode("utf-8"))
+            for time, value in self._channels[name]:
+                parts.append(f"{time!r}|{value!r}".encode("utf-8"))
+        return b"\x1e".join(parts)

@@ -224,6 +224,67 @@ class TestPeriodicTask:
         assert len(ticks) == 3
 
 
+class TestMisuseErgonomics:
+    """Kernel misuse raises SimulationError with actionable messages."""
+
+    def test_rerunning_finished_simulator_rejected(self, sim):
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.finished
+        with pytest.raises(SimulationError, match="already ran to completion"):
+            sim.run()
+
+    def test_rerun_error_message_is_actionable(self, sim):
+        sim.run()
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "schedule new events" in message
+        assert "fresh Simulator" in message
+
+    def test_scheduling_after_finish_allows_another_run(self, sim):
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule(0.2, lambda: fired.append(sim.now))
+        assert not sim.finished
+        sim.run()
+        assert fired == [pytest.approx(0.3)]
+
+    def test_cancelled_leftovers_grant_one_grace_run(self, sim):
+        """Scheduling (then cancelling) after finish resets the guard for
+        one no-op run; the run after that raises again."""
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.run()  # drains the cancelled event silently
+        with pytest.raises(SimulationError, match="already ran"):
+            sim.run()
+
+    def test_max_events_early_return_is_not_finished(self, sim):
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run(max_events=2)
+        assert not sim.finished
+        sim.run()  # resumes without complaint
+        assert sim.finished
+
+    def test_past_delay_message_is_actionable(self, sim):
+        with pytest.raises(SimulationError) as excinfo:
+            sim.schedule(-0.5, lambda: None)
+        message = str(excinfo.value)
+        assert "only moves forward" in message
+        assert "delay >= 0" in message
+
+    def test_past_absolute_time_message_is_actionable(self, sim):
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.schedule_at(4.0, lambda: None)
+        message = str(excinfo.value)
+        assert "never rewinds" in message
+        assert "fresh Simulator" in message
+
+
 @given(
     delays=st.lists(
         st.floats(min_value=0.0, max_value=100.0, allow_nan=False),

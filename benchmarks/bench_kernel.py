@@ -7,11 +7,15 @@ trials/second) so regressions in the substrate are caught.
 
 from __future__ import annotations
 
+import time
+from collections import deque
+
 import numpy as np
 
 from repro.core.device import DistScroll
 from repro.core.menu import build_menu
 from repro.interaction.user import SimulatedUser
+from repro.signal.filters import MedianFilter
 from repro.sim.kernel import PeriodicTask, Simulator
 
 
@@ -60,6 +64,66 @@ def test_bench_device_simulated_second(benchmark):
 
     ticks = benchmark(run)
     assert ticks >= 49
+
+
+class _ResortMedian:
+    """The pre-fix MedianFilter: re-sorts the whole window every sample."""
+
+    def __init__(self, window: int) -> None:
+        self._buffer: deque[float] = deque(maxlen=window)
+
+    def update(self, sample: float) -> float:
+        self._buffer.append(float(sample))
+        ordered = sorted(self._buffer)
+        n = len(ordered)
+        if n % 2 == 1:
+            return ordered[n // 2]
+        return 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+
+
+def test_bench_median_filter_sorted_insert(benchmark):
+    """Firmware hot path: the median filter must not re-sort its window.
+
+    Benchmarks the incremental (bisect + insort) filter and asserts it
+    both matches the re-sorting reference sample-for-sample and beats it
+    on wall clock for a large window — the micro-benchmark regression
+    gate for the sorted-insert fix.
+    """
+    window = 513
+    samples = np.random.default_rng(0).normal(size=20_000).tolist()
+
+    def run():
+        med = MedianFilter(window)
+        total = 0.0
+        for sample in samples:
+            total += med.update(sample)
+        return total
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    med = MedianFilter(window)
+    reference = _ResortMedian(window)
+    assert all(
+        med.update(s) == reference.update(s) for s in samples[:3000]
+    ), "sorted-insert median diverged from the re-sort reference"
+
+    def timed(filter_factory) -> float:
+        best = float("inf")
+        for _ in range(3):
+            filt = filter_factory(window)
+            start = time.perf_counter()
+            for sample in samples:
+                filt.update(sample)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_insort = timed(MedianFilter)
+    t_resort = timed(_ResortMedian)
+    assert t_insort < t_resort, (
+        f"sorted insert ({t_insort:.3f}s) must beat per-sample re-sort "
+        f"({t_resort:.3f}s) on a {window}-sample window"
+    )
+    assert np.isfinite(total)
 
 
 def test_bench_closed_loop_trial(benchmark):

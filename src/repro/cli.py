@@ -1,16 +1,29 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Gives the reproduction a front door that does not require writing
-Python: list and run experiments, print a quick interactive demo of the
-device, or dump the sensor calibration.
+Python: list and run experiments (serially or across worker processes),
+print a quick interactive demo of the device, dump the sensor
+calibration, or inspect an island-map configuration.
 
 Commands
 --------
 ``experiments``            list all experiment ids
-``run <id> [--seed N] [--csv PATH]``
-                           run one experiment and print its table
+``run <id> [--seed N] [--csv PATH] [--jobs N]``
+                           run one experiment and print its table;
+                           ``--jobs N`` shards it across N worker
+                           processes via the parallel runner
+``run-all [--jobs N] [--no-cache] [--only ID,ID] [--seed N]
+          [--csv-dir DIR] [--cache-dir DIR] [--bench PATH]``
+                           run the whole suite through the parallel
+                           runner with the on-disk result cache, and
+                           record per-experiment wall-clock and
+                           events/second into ``BENCH_runner.json``
 ``calibrate [--seed N]``   print the Figure-4 sweep for one specimen
 ``demo [--seed N]``        scripted device walk-through on the phone menu
+``islands [--entries N] [--near CM] [--far CM] [--fill F]
+          [--placement P]``
+                           print the island table (slot centers, code
+                           ranges, widths, coverage) for a configuration
 """
 
 from __future__ import annotations
@@ -19,70 +32,17 @@ import argparse
 import sys
 from typing import Callable, Optional, Sequence
 
-from repro.experiments import (
-    ExperimentResult,
-    run_ablation_mapping,
-    run_breadth,
-    run_calibration_ablation,
-    run_direction,
-    run_distance_profile,
-    run_fault_sweep,
-    run_fig4,
-    run_fig5,
-    run_firmware_ablation,
-    run_foldback,
-    run_fusion,
-    run_gloves_bench,
-    run_island_mapping,
-    run_layouts,
-    run_long_menus,
-    run_pda,
-    run_power,
-    run_range_sweep,
-    run_sensor_env,
-    run_speed_comparison,
-    run_stocktaking_by_glove,
-    run_user_study,
-)
+from repro.experiments import ExperimentResult
+from repro.runner.registry import REGISTRY, build_runner
 
 __all__ = ["main", "EXPERIMENT_RUNNERS"]
 
 #: Registry: experiment id -> zero-config runner returning a result.
+#: Derived from the declarative specs in :mod:`repro.runner.registry`;
+#: kept as a mapping of callables for backward compatibility.
 EXPERIMENT_RUNNERS: dict[str, Callable[[int], ExperimentResult]] = {
-    "FIG4": lambda seed: run_fig4(seed=seed)[0],
-    "FIG5": lambda seed: run_fig5(seed=seed),
-    "SENS-ENV": lambda seed: run_sensor_env(seed=seed, readings_per_point=8),
-    "SENS-FOLD": lambda seed: run_foldback(seed=seed),
-    "MAP-ISL": lambda seed: run_island_mapping(seed=seed),
-    "STUDY1": lambda seed: run_user_study(
-        seed=seed, n_users=8, n_blocks=3, trials_per_block=6
-    ),
-    "EXT-SPEED": lambda seed: run_speed_comparison(seed=seed)[0],
-    "EXT-SPEED-PROFILE": lambda seed: run_distance_profile(seed=seed),
-    "EXT-RANGE": lambda seed: run_range_sweep(
-        seed=seed, n_trials=6, n_users=2
-    ),
-    "EXT-LONG": lambda seed: run_long_menus(
-        seed=seed, menu_lengths=(10, 20, 40), n_trials=5, n_users=2
-    ),
-    "EXT-DIR": lambda seed: run_direction(seed=seed, n_users=8, n_trials=8),
-    "EXT-FUSION": lambda seed: run_fusion(seed=seed),
-    "EXT-PDA": lambda seed: run_pda(seed=seed, n_trials=6, n_users=2),
-    "ABL-MAP": lambda seed: run_ablation_mapping(
-        seed=seed, n_trials=5, n_users=2
-    ),
-    "ABL-GLOVE": lambda seed: run_gloves_bench(seed=seed, n_trials=6),
-    "ABL-FW": lambda seed: run_firmware_ablation(seed=seed),
-    "ABL-GLOVE-STOCK": lambda seed: run_stocktaking_by_glove(
-        seed=seed, n_items=3
-    ),
-    "ABL-LAYOUT": lambda seed: run_layouts(seed=seed, n_users=5, n_trials=4),
-    "ABL-CAL": lambda seed: run_calibration_ablation(
-        seed=seed, n_specimens=3, n_trials=5
-    ),
-    "EXT-POWER": lambda seed: run_power(seed=seed, window_s=45.0),
-    "ROB-FAULT": lambda seed: run_fault_sweep(seed=seed),
-    "EXT-BREADTH": lambda seed: run_breadth(seed=seed, n_tasks=4, n_users=2),
+    experiment_id: build_runner(spec)
+    for experiment_id, spec in REGISTRY.items()
 }
 
 
@@ -93,7 +53,8 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = EXPERIMENT_RUNNERS.get(args.experiment_id.upper())
+    experiment_id = args.experiment_id.upper()
+    runner = EXPERIMENT_RUNNERS.get(experiment_id)
     if runner is None:
         print(
             f"unknown experiment {args.experiment_id!r}; "
@@ -101,7 +62,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = runner(args.seed)
+    if args.jobs is None:
+        result = runner(args.seed)
+    else:
+        from repro.runner import run_experiments
+
+        results, _bench = run_experiments(
+            [experiment_id], seed=args.seed, jobs=max(1, args.jobs)
+        )
+        result = results[experiment_id]
     print(result.table())
     if args.csv:
         result.to_csv(args.csv)
@@ -109,7 +78,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache, run_experiments
+
+    if args.only:
+        experiment_ids = [
+            token.strip().upper()
+            for token in args.only.split(",")
+            if token.strip()
+        ]
+        unknown = [i for i in experiment_ids if i not in EXPERIMENT_RUNNERS]
+        if unknown:
+            print(
+                f"unknown experiment ids: {', '.join(unknown)}; "
+                "see `python -m repro experiments`",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        experiment_ids = list(EXPERIMENT_RUNNERS)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    _results, bench = run_experiments(
+        experiment_ids,
+        seed=args.seed,
+        jobs=max(1, args.jobs),
+        cache=cache,
+        csv_dir=args.csv_dir,
+        bench_path=args.bench,
+        echo=print,
+    )
+    print(
+        f"\n{bench['experiment_count']} experiments "
+        f"({bench['cached_count']} cached) in "
+        f"{bench['total_wall_s']:.2f}s wall with --jobs {bench['jobs']}; "
+        f"serial-equivalent {bench['serial_equivalent_s']:.2f}s "
+        f"(speedup {bench['speedup_vs_serial']:.2f}x)"
+    )
+    if args.bench:
+        print(f"wrote {args.bench}")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig4
+
     result, calibration = run_fig4(seed=args.seed)
     print(result.table())
     fit = calibration.hyperbola
@@ -188,7 +201,49 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment_id")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--csv", default=None, help="also write CSV here")
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard across N worker processes (same rows as serial)",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    run_all_parser = sub.add_parser(
+        "run-all",
+        help="run the experiment suite in parallel with result caching",
+    )
+    run_all_parser.add_argument("--seed", type=int, default=0)
+    run_all_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    run_all_parser.add_argument(
+        "--only",
+        default=None,
+        metavar="ID,ID",
+        help="comma-separated subset of experiment ids",
+    )
+    run_all_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    run_all_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    run_all_parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="write each experiment's CSV into this directory",
+    )
+    run_all_parser.add_argument(
+        "--bench",
+        default="BENCH_runner.json",
+        help="timing report path (default BENCH_runner.json)",
+    )
+    run_all_parser.set_defaults(func=_cmd_run_all)
 
     calibrate_parser = sub.add_parser(
         "calibrate", help="print the Figure-4 sensor sweep"

@@ -5,11 +5,20 @@ Every experiment module produces an :class:`ExperimentResult`: an id
 free-form notes.  Benchmarks print them with :meth:`ExperimentResult.table`
 — the "same rows/series the paper reports" — and tests assert on the raw
 ``rows``.
+
+Results are *mergeable*: the parallel runner (:mod:`repro.runner`) splits
+an experiment into independent shards, each producing a partial
+``ExperimentResult``, and :meth:`ExperimentResult.merge` reassembles them
+in shard order.  :meth:`ExperimentResult.to_json` /
+:meth:`ExperimentResult.from_json` give the runner's on-disk cache a
+stable round-trip that preserves CSV bytes exactly.
 """
 
 from __future__ import annotations
 
 import csv
+import io
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
@@ -81,14 +90,108 @@ class ExperimentResult:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def csv_bytes(self) -> bytes:
+        """The exact bytes :meth:`to_csv` writes (header + rows).
+
+        The parallel runner's determinism tests compare these bytes
+        between ``--jobs 1`` and ``--jobs N`` runs.
+        """
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue().encode("utf-8")
+
     def to_csv(self, path: str | Path) -> None:
         """Persist the rows as CSV."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(self.columns)
-            writer.writerows(self.rows)
+        path.write_bytes(self.csv_bytes())
+
+    # ------------------------------------------------------------------
+    # sharding support (repro.runner)
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, parts: Sequence["ExperimentResult"]) -> "ExperimentResult":
+        """Reassemble shard partials into one result.
+
+        Rows are concatenated in the given (shard) order.  Notes that
+        every shard agrees on are kept once — shard-local notes (for
+        example a summary computed over a single shard's rows) would be
+        misleading on the merged table and are dropped.
+        """
+        if not parts:
+            raise ValueError("cannot merge zero experiment results")
+        first = parts[0]
+        merged = cls(
+            experiment_id=first.experiment_id,
+            title=first.title,
+            columns=tuple(first.columns),
+        )
+        for part in parts:
+            if part.experiment_id != first.experiment_id:
+                raise ValueError(
+                    f"cannot merge {part.experiment_id!r} into "
+                    f"{first.experiment_id!r}"
+                )
+            if tuple(part.columns) != tuple(first.columns):
+                raise ValueError(
+                    f"{part.experiment_id}: shard column layouts differ"
+                )
+            merged.rows.extend(part.rows)
+        for note in first.notes:
+            if all(note in part.notes for part in parts):
+                merged.notes.append(note)
+        return merged
+
+    def normalized(self) -> "ExperimentResult":
+        """A copy with every cell coerced to a plain Python scalar.
+
+        NumPy scalars render identically under ``str()`` but do not
+        round-trip through JSON; normalizing both the fresh and the
+        cached path keeps CSV bytes identical regardless of origin.
+        """
+        copy = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            columns=tuple(self.columns),
+            notes=list(self.notes),
+        )
+        copy.rows = [tuple(_pyify(v) for v in row) for row in self.rows]
+        return copy
+
+    def to_json(self) -> str:
+        """Serialize for the runner's on-disk result cache."""
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[_pyify(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+        return json.dumps(payload, ensure_ascii=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        result = cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            columns=tuple(payload["columns"]),
+            notes=list(payload["notes"]),
+        )
+        result.rows = [tuple(row) for row in payload["rows"]]
+        return result
+
+
+def _pyify(value: Any) -> Any:
+    """Coerce NumPy scalars to the equivalent built-in type."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
 
 
 def _fmt(value: Any) -> str:

@@ -18,6 +18,8 @@ without hints and (b) block-2+ error rates near zero.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.config import DeviceConfig
@@ -27,7 +29,14 @@ from repro.experiments.harness import ExperimentResult
 from repro.interaction.tasks import random_targets
 from repro.interaction.user import SimulatedUser
 
-__all__ = ["run_user_study", "STUDY_MENU_LABELS"]
+__all__ = [
+    "run_user_study",
+    "user_study_seeds",
+    "run_single_user",
+    "aggregate_user_study",
+    "UserOutcome",
+    "STUDY_MENU_LABELS",
+]
 
 #: Top level of the fictive phone menu used in the study (flat for the
 #: selection blocks; the hierarchical tasks live in the examples).
@@ -45,14 +54,85 @@ STUDY_MENU_LABELS = [
 ]
 
 
-def run_user_study(
-    seed: int = 0,
-    n_users: int = 12,
-    n_blocks: int = 4,
-    trials_per_block: int = 8,
+@dataclass
+class UserOutcome:
+    """Everything one simulated participant contributes to the tables.
+
+    The parallel runner farms one :func:`run_single_user` call per shard
+    and reassembles with :func:`aggregate_user_study`; serial execution
+    walks the same two functions, so both paths are numerically identical.
+    """
+
+    discovered: bool
+    time_to_discovery_s: float
+    exploratory_movements: int
+    block_errors: list[float]
+    block_times: list[float]
+    block_subs: list[float]
+
+
+def user_study_seeds(seed: int, n_users: int) -> list[int]:
+    """Per-participant seeds, drawn from one master stream.
+
+    Kept as sequential draws from ``default_rng(seed)`` (rather than
+    ``SeedSequence`` spawning) so the committed STUDY1 numbers are
+    unchanged; each participant is fully determined by their own seed.
+    """
+    master = np.random.default_rng(seed)
+    return [int(master.integers(2**31)) for _ in range(n_users)]
+
+
+def run_single_user(
+    user_seed: int,
+    n_blocks: int,
+    trials_per_block: int,
     config: DeviceConfig | None = None,
+) -> UserOutcome:
+    """One participant's discovery phase plus all selection blocks."""
+    rng = np.random.default_rng(user_seed)
+    device = DistScroll(
+        build_menu(STUDY_MENU_LABELS), config=config, seed=user_seed
+    )
+    user = SimulatedUser(device=device, rng=rng)
+    device.run_for(0.5)
+
+    discovery = user.discover()
+
+    block_errors: list[float] = []
+    block_times: list[float] = []
+    block_subs: list[float] = []
+    for _block in range(n_blocks):
+        targets = random_targets(
+            len(STUDY_MENU_LABELS), trials_per_block, rng, min_separation=2
+        )
+        errors = 0
+        times = []
+        subs = []
+        for target in targets:
+            trial = user.select_entry(target)
+            errors += trial.wrong_activations
+            times.append(trial.duration_s)
+            subs.append(trial.submovements)
+            while device.depth > 0:
+                device.click("back")
+        block_errors.append(errors / trials_per_block)
+        block_times.append(float(np.mean(times)))
+        block_subs.append(float(np.mean(subs)))
+    return UserOutcome(
+        discovered=discovery.discovered,
+        time_to_discovery_s=discovery.time_to_discovery_s,
+        exploratory_movements=discovery.exploratory_movements,
+        block_errors=block_errors,
+        block_times=block_times,
+        block_subs=block_subs,
+    )
+
+
+def aggregate_user_study(
+    outcomes: list[UserOutcome], n_blocks: int
 ) -> ExperimentResult:
-    """Run the full initial-study protocol over simulated participants."""
+    """Fold per-participant outcomes into the STUDY1 table and notes."""
+    n_users = len(outcomes)
     result = ExperimentResult(
         experiment_id="STUDY1",
         title="Initial user study: discovery and learning blocks",
@@ -64,41 +144,9 @@ def run_user_study(
             "mean_submovements",
         ),
     )
-    master = np.random.default_rng(seed)
-    discoveries = []
-    block_errors = np.zeros((n_users, n_blocks))
-    block_times = np.zeros((n_users, n_blocks))
-    block_subs = np.zeros((n_users, n_blocks))
-
-    for u in range(n_users):
-        user_seed = int(master.integers(2**31))
-        rng = np.random.default_rng(user_seed)
-        device = DistScroll(
-            build_menu(STUDY_MENU_LABELS), config=config, seed=user_seed
-        )
-        user = SimulatedUser(device=device, rng=rng)
-        device.run_for(0.5)
-
-        discovery = user.discover()
-        discoveries.append(discovery)
-
-        for block in range(n_blocks):
-            targets = random_targets(
-                len(STUDY_MENU_LABELS), trials_per_block, rng, min_separation=2
-            )
-            errors = 0
-            times = []
-            subs = []
-            for target in targets:
-                trial = user.select_entry(target)
-                errors += trial.wrong_activations
-                times.append(trial.duration_s)
-                subs.append(trial.submovements)
-                while device.depth > 0:
-                    device.click("back")
-            block_errors[u, block] = errors / trials_per_block
-            block_times[u, block] = float(np.mean(times))
-            block_subs[u, block] = float(np.mean(subs))
+    block_errors = np.array([o.block_errors for o in outcomes])
+    block_times = np.array([o.block_times for o in outcomes])
+    block_subs = np.array([o.block_subs for o in outcomes])
 
     for block in range(n_blocks):
         result.add_row(
@@ -109,7 +157,7 @@ def run_user_study(
             float(block_subs[:, block].mean()),
         )
 
-    discovered = [d for d in discoveries if d.discovered]
+    discovered = [o for o in outcomes if o.discovered]
     result.note(
         f"discovery without hints: {len(discovered)}/{n_users} users, "
         f"median {np.median([d.time_to_discovery_s for d in discovered]):.1f} s, "
@@ -122,3 +170,18 @@ def run_user_study(
         "trial — 'nearly errorless' once the relation is known"
     )
     return result
+
+
+def run_user_study(
+    seed: int = 0,
+    n_users: int = 12,
+    n_blocks: int = 4,
+    trials_per_block: int = 8,
+    config: DeviceConfig | None = None,
+) -> ExperimentResult:
+    """Run the full initial-study protocol over simulated participants."""
+    outcomes = [
+        run_single_user(user_seed, n_blocks, trials_per_block, config)
+        for user_seed in user_study_seeds(seed, n_users)
+    ]
+    return aggregate_user_study(outcomes, n_blocks)

@@ -114,7 +114,9 @@ class ADC:
         try:
             source = self._channels[channel]
         except KeyError:
-            raise KeyError(f"no analog source attached to ADC channel {channel}")
+            raise KeyError(
+                f"no analog source attached to ADC channel {channel}"
+            ) from None
         voltage = float(source(time_s))
         self.conversions += 1
         code = self._quantize(voltage)

@@ -1,0 +1,48 @@
+"""Parallel experiment execution: sharding, process pool, result cache.
+
+The experiment suite is embarrassingly parallel — every (experiment,
+seed) pair, and within several experiments every sweep point or
+participant, is an independent work unit.  This package turns the flat
+registry of experiment runners into:
+
+* :mod:`repro.runner.registry` — declarative :class:`ExperimentSpec`
+  entries (import path + parameters + sharding strategy) replacing the
+  old closure-based registry;
+* :mod:`repro.runner.sharding` — deterministic decomposition of a spec
+  into :class:`Shard` work units and order-stable merging of the partial
+  results, with per-shard seeds derived via ``SeedSequence`` spawning
+  where an experiment opts in;
+* :mod:`repro.runner.cache` — a content-addressed on-disk result cache
+  keyed by experiment id, parameters, seed and a digest of the package
+  sources, so re-running an unchanged sweep is near-instant;
+* :mod:`repro.runner.pool` — the driver that fans shards across a
+  ``ProcessPoolExecutor`` and writes ``BENCH_runner.json`` timings.
+
+The contract throughout: ``--jobs 1`` and ``--jobs N`` produce
+byte-identical merged CSVs, and a cache hit recomputes nothing.
+"""
+
+from repro.runner.cache import ResultCache, source_digest
+from repro.runner.pool import run_experiments
+from repro.runner.registry import REGISTRY, ExperimentSpec, build_runner
+from repro.runner.sharding import (
+    Shard,
+    execute_shard,
+    make_shards,
+    merge_shard_results,
+    spawn_shard_seeds,
+)
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentSpec",
+    "build_runner",
+    "ResultCache",
+    "source_digest",
+    "run_experiments",
+    "Shard",
+    "make_shards",
+    "execute_shard",
+    "merge_shard_results",
+    "spawn_shard_seeds",
+]

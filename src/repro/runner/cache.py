@@ -1,0 +1,116 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry's key digests everything that determines the output rows:
+the experiment's spec (entry point, parameters, sharding plan), the
+seed, and a digest of every ``repro`` source file.  Touch any source
+file and every key changes — stale hits are structurally impossible, so
+there is no invalidation logic, only a directory of ``<key>.json``
+files that can be deleted at will.
+
+Entries store the merged, normalized :class:`ExperimentResult` plus the
+original compute cost (wall seconds, kernel events), which the runner
+reports for cache hits in ``BENCH_runner.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.harness import ExperimentResult
+from repro.runner.registry import ExperimentSpec
+
+__all__ = ["ResultCache", "source_digest", "default_cache_dir"]
+
+#: Bump when the on-disk entry layout changes.
+_FORMAT_VERSION = 1
+
+_source_digest_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro_cache`` under the working dir."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def source_digest() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Computed once per process; any change to the package produces new
+    cache keys for every experiment.
+    """
+    global _source_digest_cache
+    if _source_digest_cache is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _source_digest_cache = digest.hexdigest()
+    return _source_digest_cache
+
+
+class ResultCache:
+    """Directory of content-addressed experiment results."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, spec: ExperimentSpec, seed: int) -> str:
+        """Content address for one ``(spec, seed)`` pair."""
+        material = json.dumps(
+            {
+                "format": _FORMAT_VERSION,
+                "spec": spec.cache_token(),
+                "seed": seed,
+                "sources": source_digest(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(
+        self, spec: ExperimentSpec, seed: int
+    ) -> Optional[tuple[ExperimentResult, dict]]:
+        """The cached ``(result, meta)`` for this key, or ``None``."""
+        path = self._path(self.key(spec, seed))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        result = ExperimentResult.from_json(json.dumps(payload["result"]))
+        self.hits += 1
+        return result, payload.get("meta", {})
+
+    def put(
+        self,
+        spec: ExperimentSpec,
+        seed: int,
+        result: ExperimentResult,
+        meta: dict,
+    ) -> None:
+        """Store a merged result and its compute-cost metadata."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.key(spec, seed))
+        payload = {
+            "experiment_id": spec.experiment_id,
+            "seed": seed,
+            "meta": meta,
+            "result": json.loads(result.to_json()),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, ensure_ascii=False))
+        tmp.replace(path)

@@ -1,0 +1,199 @@
+"""The parallel experiment driver behind ``python -m repro run-all``.
+
+Fans every requested experiment's shards across a
+``concurrent.futures.ProcessPoolExecutor``, reassembles partials in
+shard order, consults the :class:`~repro.runner.cache.ResultCache`
+before computing anything, and records per-experiment wall-clock and
+events-per-second into ``BENCH_runner.json``.
+
+Determinism: work units are fixed by ``(experiment id, seed, shard
+index)`` alone, and merging sorts by shard index, so the merged rows —
+and therefore the CSV bytes — are identical for any ``jobs`` value and
+any completion order.  ``jobs=1`` runs the very same shard/merge path
+inline, without a pool.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult
+from repro.runner.cache import ResultCache
+from repro.runner.registry import REGISTRY
+from repro.runner.sharding import (
+    ShardResult,
+    execute_shard,
+    make_shards,
+    merge_shard_results,
+)
+
+__all__ = ["run_experiments"]
+
+
+def _shard_task(experiment_id: str, seed: int, shard_index: int) -> ShardResult:
+    """Worker entry: re-derive the shard locally and execute it.
+
+    Only ``(id, seed, index)`` crosses the process boundary; the worker
+    reconstructs the shard from the registry, which guarantees it runs
+    exactly what the inline path would.
+    """
+    spec = REGISTRY[experiment_id]
+    shard = make_shards(spec, seed)[shard_index]
+    return execute_shard(spec, seed, shard)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    csv_dir: Optional[Path | str] = None,
+    bench_path: Optional[Path | str] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> tuple[dict[str, ExperimentResult], dict]:
+    """Run experiments, possibly in parallel and/or from cache.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Registry ids, run in the given order.
+    seed:
+        Experiment seed (same meaning as ``repro run --seed``).
+    jobs:
+        Worker processes; ``1`` executes inline with no pool.
+    cache:
+        Result cache, or ``None`` to bypass caching entirely.
+    csv_dir:
+        When set, each merged result is written to ``<csv_dir>/<ID>.csv``.
+    bench_path:
+        When set, the timing report is written there as JSON.
+    echo:
+        Progress-line sink (e.g. ``print``); ``None`` for silence.
+
+    Returns
+    -------
+    ``(results, bench)`` — merged results keyed by id, and the timing
+    report that ``bench_path`` receives.
+    """
+    say = echo or (lambda _line: None)
+    unknown = [i for i in experiment_ids if i not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
+
+    started = time.perf_counter()
+    results: dict[str, ExperimentResult] = {}
+    per_experiment: dict[str, dict] = {}
+    pending: list[tuple[str, int]] = []  # (experiment_id, shard_index)
+    shard_counts: dict[str, int] = {}
+
+    for experiment_id in experiment_ids:
+        spec = REGISTRY[experiment_id]
+        if cache is not None:
+            hit = cache.get(spec, seed)
+            if hit is not None:
+                result, meta = hit
+                results[experiment_id] = result
+                per_experiment[experiment_id] = {
+                    "wall_s": 0.0,
+                    "compute_wall_s": float(meta.get("wall_s", 0.0)),
+                    "events": int(meta.get("events", 0)),
+                    "events_per_s": float(meta.get("events_per_s", 0.0)),
+                    "shards": int(meta.get("shards", 1)),
+                    "cached": True,
+                }
+                say(f"{experiment_id:18s} cached ({len(result.rows)} rows)")
+                continue
+        n_shards = len(make_shards(spec, seed))
+        shard_counts[experiment_id] = n_shards
+        pending.extend((experiment_id, index) for index in range(n_shards))
+
+    shard_results: dict[tuple[str, int], ShardResult] = {}
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_shard_task, experiment_id, seed, index): (
+                    experiment_id,
+                    index,
+                )
+                for experiment_id, index in pending
+            }
+            for future, task in futures.items():
+                shard_results[task] = future.result()
+    else:
+        for experiment_id, index in pending:
+            shard_results[(experiment_id, index)] = _shard_task(
+                experiment_id, seed, index
+            )
+
+    for experiment_id in experiment_ids:
+        if experiment_id in results:
+            continue  # cache hit
+        spec = REGISTRY[experiment_id]
+        parts = [
+            shard_results[(experiment_id, index)]
+            for index in range(shard_counts[experiment_id])
+        ]
+        merged = merge_shard_results(spec, parts)
+        results[experiment_id] = merged
+        wall_s = sum(part.wall_s for part in parts)
+        events = sum(part.events for part in parts)
+        meta = {
+            "wall_s": wall_s,
+            "events": events,
+            "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+            "shards": len(parts),
+        }
+        per_experiment[experiment_id] = {
+            "wall_s": wall_s,
+            "compute_wall_s": wall_s,
+            "cached": False,
+            **{k: meta[k] for k in ("events", "events_per_s", "shards")},
+        }
+        if cache is not None:
+            cache.put(spec, seed, merged, meta)
+        say(
+            f"{experiment_id:18s} {wall_s:6.2f}s  "
+            f"{len(parts)} shard(s)  {events} events"
+        )
+
+    total_wall_s = time.perf_counter() - started
+    computed_wall_s = sum(
+        entry["wall_s"] for entry in per_experiment.values()
+        if not entry["cached"]
+    )
+    serial_equivalent_s = sum(
+        entry["compute_wall_s"] for entry in per_experiment.values()
+    )
+    bench = {
+        "generated_by": "python -m repro run-all",
+        "jobs": jobs,
+        "seed": seed,
+        "experiment_count": len(experiment_ids),
+        "cached_count": sum(
+            1 for entry in per_experiment.values() if entry["cached"]
+        ),
+        "total_wall_s": total_wall_s,
+        "computed_wall_s": computed_wall_s,
+        "serial_equivalent_s": serial_equivalent_s,
+        "speedup_vs_serial": (
+            serial_equivalent_s / total_wall_s if total_wall_s > 0 else 0.0
+        ),
+        "experiments": {
+            experiment_id: per_experiment[experiment_id]
+            for experiment_id in experiment_ids
+        },
+    }
+
+    if csv_dir is not None:
+        csv_dir = Path(csv_dir)
+        for experiment_id in experiment_ids:
+            results[experiment_id].to_csv(csv_dir / f"{experiment_id}.csv")
+    if bench_path is not None:
+        bench_path = Path(bench_path)
+        bench_path.parent.mkdir(parents=True, exist_ok=True)
+        bench_path.write_text(json.dumps(bench, indent=2) + "\n")
+    return results, bench

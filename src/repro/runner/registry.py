@@ -1,0 +1,228 @@
+"""Declarative experiment registry.
+
+Each DESIGN.md experiment id maps to an :class:`ExperimentSpec`: the
+import path of its ``run_*`` entry point, the keyword arguments the CLI
+registry historically passed, and an optional sharding strategy telling
+the parallel runner how to split the experiment into independent work
+units.  Specs are plain data — picklable, hashable into cache keys, and
+resolvable inside worker processes without shipping closures around.
+
+Sharding strategies
+-------------------
+``whole``
+    The experiment is one indivisible work unit (default).
+``param``
+    One sweep parameter (``shard_param``, a tuple such as fault
+    ``intensities`` or island-map ``sizes``) is split into singleton
+    sweeps, one shard per value.  Valid only when the experiment's loop
+    body is RNG-independent across values — each iteration builds its
+    hardware and RNG streams fresh from the experiment seed.
+``users``
+    One shard per simulated participant.  The spec names a per-user
+    entry point and an aggregate function; per-user seeds come from
+    ``seeds_entry`` (legacy master-stream draws) or, when absent, from
+    ``SeedSequence`` spawning via
+    :func:`repro.runner.sharding.spawn_shard_seeds`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["ExperimentSpec", "REGISTRY", "build_runner", "resolve_entry"]
+
+
+def resolve_entry(entry: str) -> Callable:
+    """Import ``"package.module:function"`` and return the function."""
+    module_name, _, attr = entry.partition(":")
+    if not attr:
+        raise ValueError(f"entry {entry!r} is not of the form 'module:function'")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment id's entry point, parameters and sharding plan."""
+
+    experiment_id: str
+    entry: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    #: Index into the entry's return value when it returns a tuple
+    #: (e.g. ``run_fig4`` returns ``(result, calibration)``).
+    result_index: int | None = None
+    sharder: str = "whole"
+    #: For ``param`` sharding: the swept keyword and its full value tuple.
+    shard_param: str | None = None
+    shard_values: Tuple[Any, ...] | None = None
+    #: For ``users`` sharding.
+    n_users_param: str = "n_users"
+    user_entry: str | None = None
+    aggregate_entry: str | None = None
+    #: Params (by name) forwarded to the aggregate function.
+    aggregate_params: Tuple[str, ...] = ()
+    #: Optional ``(seed, n) -> list[int]`` deriving per-user seeds; when
+    #: ``None`` the runner uses SeedSequence spawning.
+    seeds_entry: str | None = None
+
+    def kwargs(self) -> dict:
+        """The entry-point keyword arguments as a fresh dict."""
+        return dict(self.params)
+
+    def run_whole(self, seed: int) -> ExperimentResult:
+        """Run the full experiment in-process (the legacy serial path)."""
+        outcome = resolve_entry(self.entry)(seed=seed, **self.kwargs())
+        if self.result_index is not None:
+            outcome = outcome[self.result_index]
+        return outcome
+
+    def cache_token(self) -> str:
+        """Canonical description of everything that determines the rows."""
+        return repr(
+            (
+                self.experiment_id,
+                self.entry,
+                tuple(sorted(self.params)),
+                self.result_index,
+                self.sharder,
+                self.shard_param,
+                self.shard_values,
+                self.user_entry,
+                self.seeds_entry,
+            )
+        )
+
+
+def _spec(*args, **kwargs) -> Tuple[str, ExperimentSpec]:
+    spec = ExperimentSpec(*args, **kwargs)
+    return spec.experiment_id, spec
+
+
+#: Registry: experiment id -> declarative spec.  Parameter values mirror
+#: the zero-config runners the CLI has always exposed.
+REGISTRY: Dict[str, ExperimentSpec] = dict(
+    (
+        _spec("FIG4", "repro.experiments.fig4:run_fig4", result_index=0),
+        _spec("FIG5", "repro.experiments.fig5:run_fig5"),
+        _spec(
+            "SENS-ENV",
+            "repro.experiments.sensor_env:run_sensor_env",
+            params=(("readings_per_point", 8),),
+        ),
+        _spec("SENS-FOLD", "repro.experiments.foldback:run_foldback"),
+        _spec(
+            "MAP-ISL",
+            "repro.experiments.island_mapping:run_island_mapping",
+            sharder="param",
+            shard_param="sizes",
+            shard_values=(5, 10, 20, 40),
+        ),
+        _spec(
+            "STUDY1",
+            "repro.experiments.user_study:run_user_study",
+            params=(("n_users", 8), ("n_blocks", 3), ("trials_per_block", 6)),
+            sharder="users",
+            user_entry="repro.experiments.user_study:run_single_user",
+            aggregate_entry="repro.experiments.user_study:aggregate_user_study",
+            aggregate_params=("n_blocks",),
+            seeds_entry="repro.experiments.user_study:user_study_seeds",
+        ),
+        _spec(
+            "EXT-SPEED",
+            "repro.experiments.speed_comparison:run_speed_comparison",
+            result_index=0,
+        ),
+        _spec(
+            "EXT-SPEED-PROFILE",
+            "repro.experiments.speed_comparison:run_distance_profile",
+        ),
+        _spec(
+            "EXT-RANGE",
+            "repro.experiments.range_sweep:run_range_sweep",
+            params=(("n_trials", 6), ("n_users", 2)),
+        ),
+        _spec(
+            "EXT-LONG",
+            "repro.experiments.long_menus:run_long_menus",
+            params=(
+                ("menu_lengths", (10, 20, 40)),
+                ("n_trials", 5),
+                ("n_users", 2),
+            ),
+        ),
+        _spec(
+            "EXT-DIR",
+            "repro.experiments.direction:run_direction",
+            params=(("n_users", 8), ("n_trials", 8)),
+        ),
+        _spec("EXT-FUSION", "repro.experiments.fusion:run_fusion"),
+        _spec(
+            "EXT-PDA",
+            "repro.experiments.pda:run_pda",
+            params=(("n_trials", 6), ("n_users", 2)),
+        ),
+        _spec(
+            "ABL-MAP",
+            "repro.experiments.ablation_mapping:run_ablation_mapping",
+            params=(("n_trials", 5), ("n_users", 2)),
+        ),
+        _spec(
+            "ABL-GLOVE",
+            "repro.experiments.gloves_bench:run_gloves_bench",
+            params=(("n_trials", 6),),
+        ),
+        _spec(
+            "ABL-FW",
+            "repro.experiments.firmware_ablation:run_firmware_ablation",
+        ),
+        _spec(
+            "ABL-GLOVE-STOCK",
+            "repro.experiments.gloves_bench:run_stocktaking_by_glove",
+            params=(("n_items", 3),),
+        ),
+        _spec(
+            "ABL-LAYOUT",
+            "repro.experiments.layouts:run_layouts",
+            params=(("n_users", 5), ("n_trials", 4)),
+        ),
+        _spec(
+            "ABL-CAL",
+            "repro.experiments.calibration_ablation:run_calibration_ablation",
+            params=(("n_specimens", 3), ("n_trials", 5)),
+        ),
+        _spec(
+            "EXT-POWER",
+            "repro.experiments.power:run_power",
+            params=(("window_s", 45.0),),
+        ),
+        _spec(
+            "ROB-FAULT",
+            "repro.experiments.fault_sweep:run_fault_sweep",
+            sharder="param",
+            shard_param="intensities",
+            shard_values=(0.0, 0.15, 0.35, 0.6, 0.85),
+        ),
+        _spec(
+            "EXT-BREADTH",
+            "repro.experiments.breadth:run_breadth",
+            params=(("n_tasks", 4), ("n_users", 2)),
+        ),
+    )
+)
+
+
+def build_runner(spec: ExperimentSpec) -> Callable[[int], ExperimentResult]:
+    """A ``seed -> ExperimentResult`` closure for one spec.
+
+    Backs the CLI's ``EXPERIMENT_RUNNERS`` compatibility mapping; entry
+    points resolve lazily so importing the registry stays cheap.
+    """
+
+    def runner(seed: int) -> ExperimentResult:
+        return spec.run_whole(seed)
+
+    runner.__name__ = f"run_{spec.experiment_id.lower().replace('-', '_')}"
+    return runner

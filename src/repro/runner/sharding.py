@@ -1,0 +1,156 @@
+"""Deterministic experiment sharding and order-stable merging.
+
+A :class:`Shard` is one independent work unit of an experiment.  Shards
+are derived purely from ``(spec, seed)`` — never from worker identity or
+execution order — so any process can recompute the shard list and the
+merged result is identical for ``--jobs 1`` and ``--jobs N``.
+
+Per-shard randomness: ``param`` shards reuse the experiment seed (each
+sweep value builds its hardware fresh from it, exactly as the serial
+loop does), while ``users`` shards get one seed per participant — either
+from the experiment's own legacy derivation (``seeds_entry``) or from
+:func:`spawn_shard_seeds`, which spawns ``numpy.random.SeedSequence``
+children so streams stay decorrelated no matter how many shards exist.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.runner.registry import ExperimentSpec, resolve_entry
+from repro.sim import kernel
+
+__all__ = [
+    "Shard",
+    "ShardResult",
+    "spawn_shard_seeds",
+    "make_shards",
+    "execute_shard",
+    "merge_shard_results",
+]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent work unit of an experiment."""
+
+    experiment_id: str
+    index: int
+    count: int
+    #: Strategy-dependent: ``None`` (whole), a sweep value (param), or a
+    #: participant seed (users).
+    payload: Any = None
+
+
+@dataclass
+class ShardResult:
+    """What one executed shard hands back to the merger."""
+
+    experiment_id: str
+    index: int
+    #: An :class:`ExperimentResult` partial (whole/param) or a per-user
+    #: outcome object (users).
+    data: Any
+    events: int
+    wall_s: float
+
+
+def spawn_shard_seeds(seed: int, n: int) -> list[int]:
+    """``n`` decorrelated child seeds via ``SeedSequence`` spawning.
+
+    Spawning (rather than ``seed + i`` arithmetic) guarantees the child
+    streams are statistically independent and stable under resharding:
+    shard ``i``'s seed depends only on ``(seed, i)``.
+    """
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [int(child.generate_state(1, np.uint32)[0]) for child in children]
+
+
+def make_shards(spec: ExperimentSpec, seed: int) -> list[Shard]:
+    """Decompose a spec into its deterministic shard list."""
+    if spec.sharder == "whole":
+        return [Shard(spec.experiment_id, 0, 1)]
+    if spec.sharder == "param":
+        values = spec.shard_values or ()
+        return [
+            Shard(spec.experiment_id, i, len(values), payload=value)
+            for i, value in enumerate(values)
+        ]
+    if spec.sharder == "users":
+        n_users = int(dict(spec.params)[spec.n_users_param])
+        if spec.seeds_entry is not None:
+            user_seeds = resolve_entry(spec.seeds_entry)(seed, n_users)
+        else:
+            user_seeds = spawn_shard_seeds(seed, n_users)
+        return [
+            Shard(spec.experiment_id, i, n_users, payload=user_seed)
+            for i, user_seed in enumerate(user_seeds)
+        ]
+    raise ValueError(
+        f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
+    )
+
+
+def execute_shard(spec: ExperimentSpec, seed: int, shard: Shard) -> ShardResult:
+    """Run one shard, measuring wall time and kernel events."""
+    events_before = kernel.global_events_processed()
+    start = time.perf_counter()
+    if spec.sharder == "whole":
+        data: Any = spec.run_whole(seed)
+    elif spec.sharder == "param":
+        kwargs = spec.kwargs()
+        kwargs[spec.shard_param] = (shard.payload,)
+        data = resolve_entry(spec.entry)(seed=seed, **kwargs)
+        if spec.result_index is not None:
+            data = data[spec.result_index]
+    elif spec.sharder == "users":
+        kwargs = {
+            name: value
+            for name, value in spec.params
+            if name != spec.n_users_param
+        }
+        data = resolve_entry(spec.user_entry)(shard.payload, **kwargs)
+    else:
+        raise ValueError(
+            f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
+        )
+    wall_s = time.perf_counter() - start
+    events = kernel.global_events_processed() - events_before
+    return ShardResult(spec.experiment_id, shard.index, data, events, wall_s)
+
+
+def merge_shard_results(
+    spec: ExperimentSpec, results: Sequence[ShardResult]
+) -> ExperimentResult:
+    """Merge shard partials (any order) into the final result.
+
+    Partials are sorted by shard index, so the merged rows match the
+    serial sweep order regardless of completion order.  Sharded runs
+    carry a provenance note; values are normalized to plain Python
+    scalars so fresh and cache-loaded results are byte-identical.
+    """
+    ordered = sorted(results, key=lambda r: r.index)
+    if spec.sharder == "users":
+        kwargs = {
+            name: value
+            for name, value in spec.params
+            if name in spec.aggregate_params
+        }
+        merged = resolve_entry(spec.aggregate_entry)(
+            [r.data for r in ordered], **kwargs
+        )
+    elif len(ordered) == 1:
+        merged = ordered[0].data
+    else:
+        merged = ExperimentResult.merge([r.data for r in ordered])
+    if len(ordered) > 1:
+        merged.note(
+            f"merged from {len(ordered)} shards "
+            f"(sharded by {spec.sharder!r})"
+        )
+    return merged.normalized()

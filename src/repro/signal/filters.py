@@ -8,6 +8,7 @@ for sample-at-a-time use inside the firmware loop.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Optional
 
@@ -92,11 +93,20 @@ class MedianFilter:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self._buffer: deque[float] = deque(maxlen=int(window))
+        # Sorted mirror of the buffer, maintained incrementally: one
+        # bisect-remove plus one insort per sample instead of re-sorting
+        # the whole window on the firmware hot path.
+        self._sorted: list[float] = []
 
     def update(self, sample: float) -> float:
         """Feed one sample, return the windowed median."""
-        self._buffer.append(float(sample))
-        ordered = sorted(self._buffer)
+        sample = float(sample)
+        if len(self._buffer) == self._buffer.maxlen:
+            oldest = self._buffer[0]
+            del self._sorted[bisect_left(self._sorted, oldest)]
+        self._buffer.append(sample)
+        insort(self._sorted, sample)
+        ordered = self._sorted
         n = len(ordered)
         middle = n // 2
         if n % 2 == 1:
@@ -106,6 +116,7 @@ class MedianFilter:
     def reset(self) -> None:
         """Forget all history."""
         self._buffer.clear()
+        self._sorted.clear()
 
 
 class HysteresisQuantizer:

@@ -38,7 +38,18 @@ __all__ = [
     "Simulator",
     "Process",
     "PeriodicTask",
+    "global_events_processed",
 ]
+
+#: Process-wide count of executed events across every Simulator instance.
+#: The parallel experiment runner reads this to report events/second per
+#: work unit (and to prove that a cache hit recomputed nothing).
+_global_event_count = 0
+
+
+def global_events_processed() -> int:
+    """Total events executed by all simulators in this process."""
+    return _global_event_count
 
 
 class SimulationError(RuntimeError):
@@ -164,12 +175,14 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
+        global _global_event_count
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
             self._now = event.time
             self._event_count += 1
+            _global_event_count += 1
             event.callback()
             return True
         return False
@@ -222,15 +235,21 @@ class Simulator:
         """Run while ``condition()`` holds, but never past ``max_time``.
 
         Useful for "run until the user finishes the task or we time out".
+        No event later than ``max_time`` ever executes, even when cancelled
+        events sit at the head of the queue.
         """
-        while condition() and self._queue:
-            head = self._queue[0]
-            if head.time > max_time:
+        while condition():
+            # Discard cancelled heads first: peeking a cancelled event's
+            # time and then calling step() would execute the next *live*
+            # event, which may lie past max_time.
+            while self._queue and self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+            if not self._queue or self._queue[0].time > max_time:
                 break
             self.step()
         if not condition():
             return
-        self._now = min(max(self._now, max_time), max_time)
+        self._now = max(self._now, max_time)
 
 
 class Process:

@@ -141,10 +141,26 @@ class Tracer:
         order, each as ``repr(time)|repr(value)``.  Two runs of the same
         seeded simulation must produce byte-identical serializations —
         the determinism regression tests compare exactly these bytes.
+
+        Framing is unambiguous: every chunk (channel name, record) is
+        length-prefixed with a 4-byte big-endian count, and each channel
+        header carries its record count.  A separator-joined encoding
+        cannot distinguish a channel name containing the separator (or an
+        empty channel followed by another) from adjacent records; the
+        length-prefixed form can, so distinct trace contents always yield
+        distinct bytes.
         """
-        parts: list[bytes] = []
-        for name in self.channels():
-            parts.append(name.encode("utf-8"))
-            for time, value in self._channels[name]:
-                parts.append(f"{time!r}|{value!r}".encode("utf-8"))
-        return b"\x1e".join(parts)
+        out = bytearray()
+        channel_names = self.channels()
+        out += len(channel_names).to_bytes(4, "big")
+        for name in channel_names:
+            name_bytes = name.encode("utf-8")
+            channel = self._channels[name]
+            out += len(name_bytes).to_bytes(4, "big")
+            out += name_bytes
+            out += len(channel).to_bytes(4, "big")
+            for time, value in channel:
+                record = f"{time!r}|{value!r}".encode("utf-8")
+                out += len(record).to_bytes(4, "big")
+                out += record
+        return bytes(out)

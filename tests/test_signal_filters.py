@@ -99,6 +99,40 @@ class TestMedianFilter:
         med.reset()
         assert med.update(1.0) == 1.0
 
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        window=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_sorted_insert_matches_resort(self, samples, window):
+        """The incremental sorted window equals a full re-sort each step."""
+        from collections import deque
+
+        med = MedianFilter(window=window)
+        reference = deque(maxlen=window)
+        for sample in samples:
+            got = med.update(sample)
+            reference.append(float(sample))
+            ordered = sorted(reference)
+            n = len(ordered)
+            if n % 2 == 1:
+                expected = ordered[n // 2]
+            else:
+                expected = 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+            assert got == expected
+
+    def test_reset_clears_sorted_mirror(self):
+        med = MedianFilter(window=3)
+        for v in (5.0, 6.0, 7.0):
+            med.update(v)
+        med.reset()
+        assert med.update(1.0) == 1.0
+        assert med.update(2.0) == 1.5
+
 
 class TestHysteresisQuantizer:
     def test_initial_level_rounds(self):

@@ -329,3 +329,80 @@ def test_property_periodic_task_fire_counts(periods, horizon):
     for period, count in zip(periods, counters):
         expected = int(horizon / period + 1e-9)
         assert abs(count - expected) <= 1
+
+
+class TestRunWhileTimeBoundary:
+    """Regression: run_while must never execute an event past max_time.
+
+    The old implementation peeked ``self._queue[0]`` without skipping
+    cancelled events; a cancelled head with ``time <= max_time`` let
+    ``step()`` execute the next *live* event even when it lay past the
+    deadline.
+    """
+
+    def test_cancelled_head_does_not_leak_late_event(self):
+        sim = Simulator(seed=0)
+        fired = []
+        early = sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        early.cancel()
+        sim.run_while(lambda: True, max_time=2.0)
+        assert fired == []
+        assert sim.now == 2.0
+
+    def test_many_cancelled_heads_before_late_event(self):
+        sim = Simulator(seed=0)
+        fired = []
+        for delay in (0.1, 0.2, 0.3):
+            sim.schedule(delay, lambda: fired.append("cancelled")).cancel()
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run_while(lambda: True, max_time=1.0)
+        assert fired == []
+        assert sim.now == 1.0
+
+    def test_live_events_within_deadline_still_run(self):
+        sim = Simulator(seed=0)
+        times = []
+        sim.schedule(0.25, lambda: times.append(sim.now)).cancel()
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run_while(lambda: True, max_time=1.0)
+        assert times == [0.5]
+        assert sim.now == 1.0
+
+    def test_condition_stop_leaves_clock_at_last_event(self):
+        sim = Simulator(seed=0)
+        count = {"n": 0}
+
+        def bump():
+            count["n"] += 1
+            sim.schedule(0.1, bump)
+
+        sim.schedule(0.1, bump)
+        sim.run_while(lambda: count["n"] < 3, max_time=100.0)
+        assert count["n"] == 3
+        assert sim.now == pytest.approx(0.3)
+
+    @given(
+        live=st.lists(
+            st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        cancelled=st.lists(
+            st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+            max_size=8,
+        ),
+        max_time=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_never_runs_past_max_time(self, live, cancelled, max_time):
+        sim = Simulator(seed=0)
+        executed = []
+        for delay in live:
+            sim.schedule(delay, lambda d=delay: executed.append(d))
+        for delay in cancelled:
+            sim.schedule(delay, lambda: executed.append("boom")).cancel()
+        sim.run_while(lambda: True, max_time=max_time)
+        assert all(t <= max_time for t in executed)
+        assert sorted(d for d in live if d <= max_time) == sorted(executed)

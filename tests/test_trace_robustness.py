@@ -148,3 +148,56 @@ class TestSystemRobustness:
             device.run_for(0.3)
             assert 0 <= device.highlighted_index < 40
             assert device.firmware.zoom in ("coarse", "fine")
+
+
+class TestSerializeFraming:
+    """serialize() must be injective on trace contents (ISSUE satellite).
+
+    The old encoding joined channel names and records with the same
+    ``\\x1e`` separator, so e.g. one channel named ``"a\\x1eb"`` collided
+    with two channels ``"a"`` and ``"b"``; length-prefixed framing keeps
+    distinct contents distinct.
+    """
+
+    def test_separator_in_channel_name_is_unambiguous(self):
+        one = Tracer()
+        one.channel("a\x1eb")
+        two = Tracer()
+        two.channel("a")
+        two.channel("b")
+        assert one.serialize() != two.serialize()
+
+    def test_separator_in_value_is_unambiguous(self):
+        one = Tracer()
+        one.record("ch", 0.0, "x\x1e0.5|y")
+        two = Tracer()
+        two.record("ch", 0.0, "x")
+        two.record("ch", 0.5, "y")
+        assert one.serialize() != two.serialize()
+
+    def test_empty_channel_followed_by_another(self):
+        one = Tracer()
+        one.channel("")
+        one.channel("a")
+        two = Tracer()
+        two.channel("a")
+        assert one.serialize() != two.serialize()
+
+    def test_same_contents_serialize_identically(self):
+        def build():
+            tracer = Tracer()
+            tracer.record("b", 0.0, 1)
+            tracer.record("a", 0.5, "x|y")
+            tracer.record("b", 1.0, 2.5)
+            return tracer
+
+        assert build().serialize() == build().serialize()
+
+    def test_record_split_across_channels_differs(self):
+        one = Tracer()
+        one.record("a", 0.0, 1)
+        one.record("a", 1.0, 2)
+        two = Tracer()
+        two.record("a", 0.0, 1)
+        two.record("b", 1.0, 2)
+        assert one.serialize() != two.serialize()

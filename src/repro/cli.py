@@ -24,6 +24,11 @@ Commands
           [--placement P]``
                            print the island table (slot centers, code
                            ranges, widths, coverage) for a configuration
+``lint [--root DIR] [--baseline PATH | --no-baseline]
+       [--format text|json] [--rules ID,ID] [--write-baseline]``
+                           run the reprolint invariant checks (REP001-
+                           REP005) over the source tree; exits non-zero
+                           on any non-baselined finding
 """
 
 from __future__ import annotations
@@ -185,6 +190,89 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.devtools import (
+        Baseline,
+        LintEngine,
+        default_rules,
+        format_json,
+        format_text,
+    )
+    from repro.devtools.baseline import discover_baseline
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        import repro
+
+        root = Path(repro.__file__).parent
+    if not root.is_dir():
+        print(f"lint root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    rules = default_rules()
+    if args.rules:
+        wanted = {token.strip().upper() for token in args.rules.split(",")}
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown rule ids: {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = tuple(r for r in rules if r.rule_id in wanted)
+
+    engine = LintEngine(rules)
+    findings = engine.lint_tree(root)
+
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = discover_baseline(root)
+
+    if args.write_baseline:
+        target = baseline_path or root / "reprolint-baseline.json"
+        previous = Baseline.load_optional(baseline_path)
+        Baseline.from_findings(findings, previous=previous).save(target)
+        print(f"wrote baseline with {len(findings)} entr(ies) to {target}")
+        return 0
+
+    if (
+        args.baseline is not None
+        and baseline_path is not None
+        and not baseline_path.is_file()
+    ):
+        print(f"baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+
+    baseline = Baseline.load_optional(baseline_path)
+    findings = baseline.apply(findings)
+
+    if args.format == "json":
+        print(format_json(findings, engine.rule_ids(), str(root)), end="")
+    else:
+        print(
+            format_text(
+                findings, engine.rule_ids(), str(root), verbose=args.verbose
+            )
+        )
+        stale = baseline.unmatched_entries(findings)
+        if stale:
+            print(
+                f"note: {len(stale)} stale baseline entr(ies) no longer "
+                "match any finding — prune them from "
+                f"{baseline_path or 'the baseline'}"
+            )
+    reported = sum(1 for f in findings if not f.suppressed)
+    return 1 if reported else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -270,6 +358,50 @@ def build_parser() -> argparse.ArgumentParser:
         ).Placement],
     )
     islands_parser.set_defaults(func=_cmd_islands)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the reprolint invariant checks (REP001-REP005)"
+    )
+    lint_parser.add_argument(
+        "--root",
+        default=None,
+        help="tree to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: discover reprolint-baseline.json "
+        "above the lint root)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID,ID",
+        help="comma-separated subset of rule ids to run",
+    )
+    lint_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined (suppressed) findings",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings "
+        "(preserves existing justifications)",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
 
     return parser
 

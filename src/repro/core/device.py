@@ -32,6 +32,7 @@ from repro.core.sdaz import SDAZFirmware
 from repro.core.menu import MenuEntry, build_menu
 from repro.hardware.board import DistScrollBoard, build_distscroll_board
 from repro.hardware.buttons import ButtonLayout, RIGHT_HANDED_LAYOUT
+from repro.sim import channels
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
 
@@ -172,10 +173,10 @@ class DistScroll:
 
     def events(self) -> list[tuple[float, InteractionEvent]]:
         """All traced interaction events as ``(time, event)`` pairs."""
-        channel = self.tracer.get("events")
+        channel = self.tracer.get(channels.EVENTS)
         if channel is None:
             return []
         return list(channel)
 
     def _trace_event(self, event: InteractionEvent) -> None:
-        self.tracer.record("events", self.sim.now, event)
+        self.tracer.record(channels.EVENTS, self.sim.now, event)

@@ -1,0 +1,43 @@
+"""``reprolint`` — AST-based invariant linting for the simulation stack.
+
+The simulator's headline guarantees (``--jobs 1 == --jobs N``
+byte-identical CSVs, every fault injection paired with a recovery) rest
+on code conventions: all randomness flows from a passed-in
+``numpy.random.Generator``, trace channels are spelled from one
+registry, nothing inside the sim reads wall-clock time.  This package
+enforces those conventions mechanically.
+
+Layout
+------
+``findings``   :class:`Finding` / :class:`Severity` — what a rule emits.
+``base``       :class:`Rule` — an ``ast.NodeVisitor`` with an ancestor
+               stack, per-path exemptions and a ``report()`` helper.
+``engine``     :class:`LintEngine` — parses a tree once, runs every
+               registered rule per file, returns sorted findings.
+``baseline``   committed grandfather file: load/match/write.
+``report``     text and JSON rendering of a lint run.
+``rules``      the shipped rule set (REP001–REP005).
+
+Entry point: ``repro lint`` in :mod:`repro.cli`, or programmatically::
+
+    from repro.devtools import LintEngine
+    findings = LintEngine().lint_tree(Path("src/repro"))
+"""
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.base import LintContext, Rule
+from repro.devtools.engine import LintEngine, default_rules
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.report import format_json, format_text
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintContext",
+    "LintEngine",
+    "Rule",
+    "Severity",
+    "default_rules",
+    "format_json",
+    "format_text",
+]

@@ -1,0 +1,168 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline entry suppresses findings matching ``(rule, path, snippet)``
+— keyed on the stripped source line rather than the line number, so an
+entry survives unrelated edits elsewhere in the file but dies (loudly)
+when the grandfathered line itself changes.  Every entry must carry a
+``justification`` explaining why the violation is intentional; the
+loader rejects entries without one, which keeps "just baseline it" from
+becoming a silent escape hatch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "discover_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    snippet: str
+    justification: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+
+class Baseline:
+    """A set of grandfathered findings with JSON round-trip."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: list[BaselineEntry] = list(entries)
+        self._keys = {entry.key() for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether the finding is grandfathered."""
+        return finding.key() in self._keys
+
+    def apply(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Return findings with ``suppressed`` set where baselined."""
+        return [
+            f.with_suppressed(self.matches(f)) if not f.suppressed else f
+            for f in findings
+        ]
+
+    def unmatched_entries(
+        self, findings: Sequence[Finding]
+    ) -> list[BaselineEntry]:
+        """Entries no current finding matches (stale — safe to drop)."""
+        seen = {f.key() for f in findings}
+        return [e for e in self.entries if e.key() not in seen]
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load and validate a baseline file."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: not a reprolint baseline (expected"
+                f' {{"version": {_FORMAT_VERSION}, "entries": [...]}})'
+            )
+        entries = []
+        for i, raw in enumerate(data.get("entries", [])):
+            missing = {"rule", "path", "snippet", "justification"} - set(raw)
+            if missing:
+                raise ValueError(
+                    f"{path}: entry {i} missing {sorted(missing)}"
+                )
+            if not str(raw["justification"]).strip():
+                raise ValueError(
+                    f"{path}: entry {i} ({raw['rule']} {raw['path']}) has an"
+                    " empty justification — every grandfathered finding"
+                    " must say why it is intentional"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    snippet=str(raw["snippet"]),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def load_optional(cls, path: Optional[Path]) -> "Baseline":
+        """Empty baseline when ``path`` is ``None`` or missing."""
+        if path is None or not Path(path).is_file():
+            return cls()
+        return cls.load(Path(path))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline (sorted, trailing newline, stable bytes)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "snippet": e.snippet,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries, key=lambda e: e.key())
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        justification: str = "TODO: justify this grandfathered finding",
+        previous: Optional["Baseline"] = None,
+    ) -> "Baseline":
+        """Build a baseline covering ``findings``.
+
+        Justifications from ``previous`` are preserved for entries that
+        still match, so regenerating never erases the written rationale.
+        """
+        kept: dict[tuple[str, str, str], BaselineEntry] = {}
+        if previous is not None:
+            kept = {e.key(): e for e in previous.entries}
+        entries = []
+        for finding in findings:
+            key = finding.key()
+            if key in kept:
+                entries.append(kept[key])
+            else:
+                entries.append(
+                    BaselineEntry(
+                        rule=finding.rule,
+                        path=finding.path,
+                        snippet=finding.snippet,
+                        justification=justification,
+                    )
+                )
+        # de-duplicate identical keys (several findings can share a line)
+        unique = {e.key(): e for e in entries}
+        return cls(sorted(unique.values(), key=lambda e: e.key()))
+
+
+def discover_baseline(start: Path, name: str = "reprolint-baseline.json") -> Optional[Path]:
+    """Walk up from ``start`` looking for the committed baseline file."""
+    current = Path(start).resolve()
+    for candidate in [current, *current.parents]:
+        path = candidate / name
+        if path.is_file():
+            return path
+    return None

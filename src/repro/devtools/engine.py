@@ -1,0 +1,103 @@
+"""The lint engine: parse a tree once, run every rule, sort findings.
+
+Deliberately simple and fast: one ``ast.parse`` per file, one visitor
+pass per (file, rule).  The whole ``src/repro`` tree (~90 modules) lints
+in well under a second, which keeps ``repro lint`` viable as a pre-test
+CI gate and an editor save hook.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Type
+
+from repro.devtools.base import LintContext, Rule
+from repro.devtools.findings import Finding, Severity
+
+__all__ = ["LintEngine", "default_rules"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache"})
+
+
+def default_rules() -> tuple[Type[Rule], ...]:
+    """The shipped rule set (imported lazily to avoid cycles)."""
+    from repro.devtools.rules import ALL_RULES
+
+    return ALL_RULES
+
+
+class LintEngine:
+    """Runs a set of :class:`Rule` classes over sources.
+
+    Parameters
+    ----------
+    rules:
+        Rule *classes* to instantiate per file; defaults to the shipped
+        REP001–REP005 set.
+    """
+
+    def __init__(
+        self, rules: Optional[Iterable[Type[Rule]]] = None
+    ) -> None:
+        self.rules: tuple[Type[Rule], ...] = (
+            tuple(rules) if rules is not None else default_rules()
+        )
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def lint_source(self, source: str, path: str) -> list[Finding]:
+        """Lint one source string as if it lived at relative ``path``."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule="REP000",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"syntax error: {exc.msg}",
+                    severity=Severity.ERROR,
+                    snippet="",
+                )
+            ]
+        findings: list[Finding] = []
+        for rule_cls in self.rules:
+            if not rule_cls.applies_to(path):
+                continue
+            context = LintContext(path=path, source=source)
+            findings.extend(rule_cls(context).run(tree))
+        return self.sort(findings)
+
+    def lint_file(self, file_path: Path, rel_path: str) -> list[Finding]:
+        """Lint one file on disk, reporting it as ``rel_path``."""
+        source = file_path.read_text(encoding="utf-8")
+        return self.lint_source(source, rel_path)
+
+    def lint_tree(self, root: Path) -> list[Finding]:
+        """Lint every ``*.py`` under ``root``; findings sorted stably."""
+        root = Path(root)
+        findings: list[Finding] = []
+        for file_path in sorted(root.rglob("*.py")):
+            if _SKIP_DIRS.intersection(file_path.parts):
+                continue
+            rel_path = file_path.relative_to(root).as_posix()
+            findings.extend(self.lint_file(file_path, rel_path))
+        return self.sort(findings)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sort(findings: Sequence[Finding]) -> list[Finding]:
+        """Stable presentation order: path, line, column, rule id."""
+        return sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+    def rule_ids(self) -> list[str]:
+        """Ids of the configured rules, in registration order."""
+        return [rule.rule_id for rule in self.rules]

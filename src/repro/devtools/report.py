@@ -1,0 +1,76 @@
+"""Rendering a lint run: terminal text and machine-readable JSON.
+
+The JSON schema is part of the tool's contract (CI and editor tooling
+parse it) and is pinned by ``tests/test_reprolint.py``::
+
+    {
+      "version": 1,
+      "tool": "reprolint",
+      "root": "<linted root>",
+      "rules": ["REP001", ...],
+      "counts": {"total": N, "suppressed": M, "reported": K},
+      "findings": [ Finding.to_dict(), ... ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.devtools.findings import Finding
+
+__all__ = ["format_text", "format_json", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+
+def _counts(findings: Sequence[Finding]) -> dict[str, int]:
+    suppressed = sum(1 for f in findings if f.suppressed)
+    return {
+        "total": len(findings),
+        "suppressed": suppressed,
+        "reported": len(findings) - suppressed,
+    }
+
+
+def format_text(
+    findings: Sequence[Finding],
+    rules: Sequence[str],
+    root: str,
+    verbose: bool = False,
+) -> str:
+    """One line per reported finding plus a summary."""
+    counts = _counts(findings)
+    lines = []
+    for finding in findings:
+        if finding.suppressed and not verbose:
+            continue
+        marker = " [baselined]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule}"
+            f" [{finding.severity.value}]{marker} {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    lines.append(
+        f"reprolint: {counts['reported']} finding(s)"
+        f" ({counts['suppressed']} baselined) over {root}"
+        f" [{', '.join(rules)}]"
+    )
+    return "\n".join(lines)
+
+
+def format_json(
+    findings: Sequence[Finding], rules: Sequence[str], root: str
+) -> str:
+    """The pinned JSON report."""
+    payload = {
+        "version": REPORT_VERSION,
+        "tool": "reprolint",
+        "root": root,
+        "rules": list(rules),
+        "counts": _counts(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2) + "\n"

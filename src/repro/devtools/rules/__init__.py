@@ -1,0 +1,39 @@
+"""The shipped reprolint rule set.
+
+=======  ==========================================================
+REP001   no wall-clock reads inside the simulation stack
+REP002   randomness only via seeded ``numpy.random.Generator`` s
+REP003   trace-channel literals must exist in ``repro.sim.channels``
+REP004   sim-time discipline: no float-equality on times, no
+         negative scheduling delays
+REP005   optional hardware fault hooks are null-checked before call
+=======  ==========================================================
+
+Adding a rule: subclass :class:`repro.devtools.base.Rule` in a new
+module here, set ``rule_id``/``title``/exemptions, implement the
+``visit_*`` methods, and append the class to :data:`ALL_RULES`.
+"""
+
+from repro.devtools.rules.channels import TraceChannelRegistryRule
+from repro.devtools.rules.hooks import FaultHookGuardRule
+from repro.devtools.rules.rng import SeededRngOnlyRule
+from repro.devtools.rules.simtime import SimTimeDisciplineRule
+from repro.devtools.rules.wallclock import NoWallClockRule
+
+__all__ = [
+    "ALL_RULES",
+    "FaultHookGuardRule",
+    "NoWallClockRule",
+    "SeededRngOnlyRule",
+    "SimTimeDisciplineRule",
+    "TraceChannelRegistryRule",
+]
+
+#: Every shipped rule, in id order.
+ALL_RULES = (
+    NoWallClockRule,
+    SeededRngOnlyRule,
+    TraceChannelRegistryRule,
+    SimTimeDisciplineRule,
+    FaultHookGuardRule,
+)

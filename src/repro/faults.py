@@ -56,6 +56,8 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.sim import channels
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (board -> plan)
     from repro.hardware.board import DistScrollBoard
     from repro.sim.trace import Tracer
@@ -67,10 +69,11 @@ __all__ = [
     "DEFAULT_SWEEP_KINDS",
 ]
 
-#: Trace channel receiving one record per injected fault.
-FAULT_CHANNEL = "faults"
+#: Trace channel receiving one record per injected fault (registered in
+#: :mod:`repro.sim.channels`; kept as a module alias for back-compat).
+FAULT_CHANNEL = channels.FAULTS
 #: Trace channel receiving one record per firmware recovery action.
-RECOVERY_CHANNEL = "fault.recovery"
+RECOVERY_CHANNEL = channels.FAULT_RECOVERY
 
 
 class FaultKind(Enum):

@@ -1,5 +1,6 @@
 """Discrete-event simulation substrate for the DistScroll reproduction."""
 
+from repro.sim.channels import CHANNELS, EVENTS, FAULT_RECOVERY, FAULTS
 from repro.sim.kernel import (
     Event,
     PeriodicTask,
@@ -11,7 +12,11 @@ from repro.sim.kernel import (
 from repro.sim.trace import TraceChannel, Tracer
 
 __all__ = [
+    "CHANNELS",
+    "EVENTS",
     "Event",
+    "FAULTS",
+    "FAULT_RECOVERY",
     "PeriodicTask",
     "Process",
     "SimulationError",

@@ -29,6 +29,13 @@ Commands
                            run the reprolint invariant checks (REP001-
                            REP005) over the source tree; exits non-zero
                            on any non-baselined finding
+``bench [--quick] [--only NAME,NAME] [--output PATH]
+        [--check BASELINE] [--threshold F] [--min-speedup F] [--list]``
+                           run the headless perf suite, write
+                           ``BENCH_perf.json`` and (with ``--check``)
+                           fail on >25% throughput regression against
+                           the committed baseline or on the vectorized
+                           calibration fast path dropping below 3x
 """
 
 from __future__ import annotations
@@ -273,6 +280,61 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if reported else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.perf import check_report, run_benchmarks
+    from repro.perf.bench import BENCHMARKS, load_report
+
+    if args.list:
+        for name in BENCHMARKS:
+            print(name)
+        return 0
+
+    only = None
+    if args.only:
+        only = [
+            token.strip() for token in args.only.split(",") if token.strip()
+        ]
+        unknown = [name for name in only if name not in BENCHMARKS]
+        if unknown:
+            print(
+                f"unknown benchmarks: {', '.join(unknown)}; "
+                "see `python -m repro bench --list`",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = run_benchmarks(only=only, quick=args.quick, echo=print)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if args.check is None:
+        return 0
+    baseline_path = Path(args.check)
+    if not baseline_path.is_file():
+        print(f"baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+    failures = check_report(
+        report,
+        load_report(baseline_path),
+        threshold=args.threshold,
+        min_speedup=args.min_speedup,
+    )
+    if failures:
+        print(
+            f"\nperf gate FAILED against {baseline_path}:", file=sys.stderr
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate passed against {baseline_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -402,6 +464,52 @@ def build_parser() -> argparse.ArgumentParser:
         "(preserves existing justifications)",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the headless perf suite with a regression gate",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads, one round (the CI smoke setting)",
+    )
+    bench_parser.add_argument(
+        "--only",
+        default=None,
+        metavar="NAME,NAME",
+        help="comma-separated subset of benchmark names",
+    )
+    bench_parser.add_argument(
+        "--output",
+        default="BENCH_perf.json",
+        help="report path (default BENCH_perf.json)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_perf.json; exit 1 on "
+        "regression",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated throughput drop vs baseline (default 0.25)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required vectorized calibration speedup (default 3.0)",
+    )
+    bench_parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list benchmark names and exit",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -252,6 +252,13 @@ def _code_for_distance(sensor: GP2D120, adc: ADC, distance_cm: float) -> int:
     return adc.code_for_voltage(sensor.ideal_voltage(distance_cm))
 
 
+def _codes_for_distances(
+    sensor: GP2D120, adc: ADC, distances_cm: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`_code_for_distance`: one sensor + ADC pass."""
+    return adc.codes_for_voltages(sensor.ideal_voltage_array(distances_cm))
+
+
 def _place_equal_distance(
     sensor: GP2D120,
     adc: ADC,
@@ -260,27 +267,32 @@ def _place_equal_distance(
     far: float,
     fill: float,
 ) -> list[Island]:
-    """The paper's construction: equal distance slices, islands inside."""
+    """The paper's construction: equal distance slices, islands inside.
+
+    All edge/center codes come from one batched pass through the sensor
+    transfer function and the ADC quantizer — bit-equal to the scalar
+    per-slot computation, just one array op instead of ``3 * n_entries``
+    scalar sweeps.
+    """
     step = (far - near) / n_entries
     half_island = step * fill / 2.0
-    islands = []
-    for slot in range(n_entries):
-        center_d = near + (slot + 0.5) * step
-        d_near_edge = center_d - half_island
-        d_far_edge = center_d + half_island
-        # Voltage (and code) falls with distance: far edge → low code.
-        code_high = _code_for_distance(sensor, adc, d_near_edge)
-        code_low = _code_for_distance(sensor, adc, d_far_edge)
-        code_low, code_high = min(code_low, code_high), max(code_low, code_high)
-        islands.append(
-            Island(
-                slot=slot,
-                code_low=code_low,
-                code_high=code_high,
-                center_code=_code_for_distance(sensor, adc, center_d),
-                center_distance_cm=center_d,
-            )
+    centers = near + (np.arange(n_entries) + 0.5) * step
+    # Voltage (and code) falls with distance: far edge → low code.
+    edge_highs = _codes_for_distances(sensor, adc, centers - half_island)
+    edge_lows = _codes_for_distances(sensor, adc, centers + half_island)
+    center_codes = _codes_for_distances(sensor, adc, centers)
+    code_lows = np.minimum(edge_lows, edge_highs)
+    code_highs = np.maximum(edge_lows, edge_highs)
+    islands = [
+        Island(
+            slot=slot,
+            code_low=int(code_lows[slot]),
+            code_high=int(code_highs[slot]),
+            center_code=int(center_codes[slot]),
+            center_distance_cm=float(centers[slot]),
         )
+        for slot in range(n_entries)
+    ]
     _shrink_overlaps(islands)
     return islands
 

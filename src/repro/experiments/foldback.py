@@ -20,6 +20,8 @@ fast-scroll gesture's achieved entries/second against normal reaching.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.config import DeviceConfig
 from repro.core.device import DistScroll
 from repro.core.menu import build_menu
@@ -39,15 +41,16 @@ def run_foldback(seed: int = 0, n_entries: int = 10) -> ExperimentResult:
     )
 
     # (a) the ambiguity table: each distance below the peak aliases to one
-    # beyond it.
+    # beyond it.  One vectorized pass over the fold-back grid.
     sensor = GP2D120(rng=None)
-    for d in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5):
-        voltage = sensor.ideal_voltage(d)
+    foldback_grid = np.array([0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5])
+    voltages = sensor.ideal_voltage_array(foldback_grid)
+    for d, voltage in zip(foldback_grid, voltages):
         try:
-            alias = sensor.distance_for_voltage(voltage)
+            alias = sensor.distance_for_voltage(float(voltage))
         except ValueError:
             alias = float("nan")
-        result.add_row(d, float(alias), voltage)
+        result.add_row(float(d), float(alias), float(voltage))
     result.note(
         "every fold-back distance aliases to an in-range distance — the "
         "sensor alone cannot distinguish them (§4.2)"

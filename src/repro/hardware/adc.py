@@ -141,6 +141,21 @@ class ADC:
         code = voltage / params.v_ref * (params.max_code + 1)
         return int(np.clip(round(code), 0, params.max_code))
 
+    def codes_for_voltages(self, voltages: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`code_for_voltage` (bit-equal, batched).
+
+        ``np.round`` rounds half to even exactly like builtin ``round``,
+        so each element matches the scalar conversion; the island-map
+        construction uses this to place every island in one pass.
+        """
+        params = self.params
+        codes = (
+            np.asarray(voltages, dtype=float)
+            / params.v_ref
+            * (params.max_code + 1)
+        )
+        return np.clip(np.round(codes), 0, params.max_code).astype(np.int64)
+
     def _quantize(self, voltage: float) -> int:
         params = self.params
         fraction = voltage / params.v_ref

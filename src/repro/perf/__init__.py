@@ -1,0 +1,22 @@
+"""Headless performance benchmarks and the perf-regression gate.
+
+``python -m repro bench`` runs the suite in :mod:`repro.perf.bench`,
+writes ``BENCH_perf.json`` and — with ``--check`` — fails on throughput
+regressions against a committed baseline.
+"""
+
+from repro.perf.bench import (
+    BENCHMARKS,
+    BenchRecord,
+    check_report,
+    format_report,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchRecord",
+    "check_report",
+    "format_report",
+    "run_benchmarks",
+]

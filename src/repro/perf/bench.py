@@ -1,0 +1,380 @@
+"""The ``repro bench`` benchmark suite and regression gate.
+
+Every benchmark here is a *headless* workload: no pytest, no fixtures,
+just seeded construction and a timed run, so the suite doubles as a CI
+smoke job and as the producer of the committed ``BENCH_perf.json``
+baseline.  Two kinds of number come out:
+
+* ``units_per_s`` — absolute throughput (events, samples or islands per
+  second of host wall-clock).  Machine-dependent; the regression gate
+  compares it against a baseline produced on the same runner class.
+* ``derived`` ratios — e.g. the vectorized-vs-scalar calibration-sweep
+  speedup.  Dimensionless and machine-independent, so the gate can
+  enforce them anywhere (the fast path must stay >= 3x).
+
+Wall-clock reads live in exactly one helper (:func:`_timed`); they are
+intentional host-time telemetry around — never inside — the
+deterministic simulation, and are baselined in
+``reprolint-baseline.json`` accordingly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchRecord",
+    "run_benchmarks",
+    "check_report",
+    "format_report",
+]
+
+#: Gate defaults: max tolerated throughput drop vs baseline, and the
+#: minimum vectorized calibration-sweep speedup the fast path must keep.
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark's outcome (one entry in ``BENCH_perf.json``)."""
+
+    name: str
+    wall_s: float
+    units: int
+    unit_name: str
+    rounds: int
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def units_per_s(self) -> float:
+        """Throughput — the number the regression gate watches."""
+        return self.units / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "units": self.units,
+            "unit_name": self.unit_name,
+            "units_per_s": self.units_per_s,
+            "rounds": self.rounds,
+            **self.notes,
+        }
+
+
+def _timed(workload: Callable[[], int], rounds: int) -> tuple[float, int]:
+    """Best-of-``rounds`` wall time for a workload returning its units."""
+    best = float("inf")
+    units = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        units = workload()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, units
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+
+def _calib_sweep(quick: bool, vectorized: bool) -> Callable[[], int]:
+    """The Figure-4 sampling sweep, scalar vs batched.
+
+    Times exactly the loop that :func:`repro.sensors.calibration.calibrate`
+    runs per grid point (one fresh measurement cycle per reading), without
+    the curve fits — the fits cost the same on both paths and would only
+    dilute the speedup the gate watches.
+    """
+    from repro.sensors.gp2d120 import (
+        GP2D120,
+        SENSOR_MAX_CM,
+        SENSOR_MIN_CM,
+    )
+
+    readings = 64 if quick else 256
+    distances = np.arange(SENSOR_MIN_CM, SENSOR_MAX_CM + 0.5, 1.0)
+
+    def workload() -> int:
+        sensor = GP2D120.specimen(np.random.default_rng(0))
+        cycle = sensor.params.cycle_time_s
+        clock = 0.0
+        total = 0
+        for distance in distances:
+            clock += 0.5
+            if vectorized:
+                times = clock + cycle * 1.05 * np.arange(1, readings + 1)
+                sensor.output_voltage_array(times, float(distance))
+                clock = float(times[-1])
+            else:
+                for _ in range(readings):
+                    clock += cycle * 1.05
+                    sensor.output_voltage(clock, float(distance))
+            total += readings
+        return total
+
+    return workload
+
+
+def _fig4_end_to_end(quick: bool) -> Callable[[], int]:
+    from repro.experiments.fig4 import run_fig4
+
+    readings = 16 if quick else 64
+
+    def workload() -> int:
+        result, _calibration = run_fig4(seed=0, readings_per_point=readings)
+        return len(result.rows) * readings
+
+    return workload
+
+
+def _island_map(quick: bool) -> Callable[[], int]:
+    from repro.core.islands import build_island_map
+    from repro.hardware.adc import ADC
+    from repro.sensors.gp2d120 import GP2D120
+
+    repeats = 20 if quick else 100
+    entries = 64
+
+    def workload() -> int:
+        sensor = GP2D120(rng=None)
+        adc = ADC(rng=None)
+        for _ in range(repeats):
+            island_map = build_island_map(sensor, adc, entries)
+        return repeats * island_map.n_slots
+
+    return workload
+
+
+def _kernel_events(quick: bool) -> Callable[[], int]:
+    from repro.sim.kernel import Simulator
+
+    count = 20_000 if quick else 100_000
+
+    def workload() -> int:
+        sim = Simulator(seed=0)
+        nop = lambda: None  # noqa: E731
+        for i in range(count):
+            sim.schedule(i * 1e-4, nop)
+        sim.run()
+        return sim.events_processed
+
+    return workload
+
+
+def _kernel_cancel_churn(quick: bool) -> Callable[[], int]:
+    """Periodic-task churn: the workload the heap compaction targets.
+
+    Repeatedly starts and stops batches of periodic tasks while the
+    simulation advances, so the queue keeps accumulating cancelled
+    corpses the way a long multi-user study does.
+    """
+    from repro.sim.kernel import PeriodicTask, Simulator
+
+    generations = 60 if quick else 250
+
+    def workload() -> int:
+        sim = Simulator(seed=0)
+        nop = lambda: None  # noqa: E731
+        for generation in range(generations):
+            tasks = [
+                PeriodicTask(sim, 0.01 + i * 1e-4, nop) for i in range(40)
+            ]
+            sim.run_until(sim.now + 0.05)
+            for task in tasks:
+                task.stop()
+        sim.run()
+        return sim.events_processed
+
+    return workload
+
+
+def _device_second(quick: bool) -> Callable[[], int]:
+    from repro.core.device import DistScroll
+    from repro.core.menu import build_menu
+
+    seconds = 2.0 if quick else 10.0
+
+    def workload() -> int:
+        device = DistScroll(
+            build_menu([f"Item {i}" for i in range(10)]), seed=1
+        )
+        device.hold_at(15.0)
+        device.run_for(seconds)
+        return device.sim.events_processed
+
+    return workload
+
+
+#: name -> (factory(quick) -> workload, unit name).  The factory imports
+#: lazily so ``repro bench --list`` stays fast and dependency-light.
+BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
+    "calib-sweep-scalar": (
+        lambda quick: _calib_sweep(quick, vectorized=False),
+        "samples",
+    ),
+    "calib-sweep-vectorized": (
+        lambda quick: _calib_sweep(quick, vectorized=True),
+        "samples",
+    ),
+    "fig4-end-to-end": (_fig4_end_to_end, "samples"),
+    "island-map": (_island_map, "islands"),
+    "kernel-events": (_kernel_events, "events"),
+    "kernel-cancel-churn": (_kernel_cancel_churn, "events"),
+    "device-second": (_device_second, "events"),
+}
+
+
+def run_benchmarks(
+    only: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    echo: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the suite and return the ``BENCH_perf.json`` payload.
+
+    Parameters
+    ----------
+    only:
+        Subset of benchmark names (default: all, in registry order).
+    quick:
+        Smaller workloads and fewer rounds — the CI smoke setting.
+    echo:
+        Progress sink (e.g. ``print``); ``None`` for silence.
+    """
+    say = echo or (lambda _line: None)
+    names = list(only) if only else list(BENCHMARKS)
+    unknown = [name for name in names if name not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {', '.join(unknown)}")
+
+    # Best-of-N: even in quick mode a second round so first-call costs
+    # (module imports, numpy ufunc setup) never pollute the measurement.
+    rounds = 2 if quick else 3
+    records: dict[str, BenchRecord] = {}
+    for name in names:
+        factory, unit_name = BENCHMARKS[name]
+        workload = factory(quick)
+        wall_s, units = _timed(workload, rounds)
+        record = BenchRecord(
+            name=name,
+            wall_s=wall_s,
+            units=units,
+            unit_name=unit_name,
+            rounds=rounds,
+        )
+        records[name] = record
+        say(
+            f"{name:24s} {wall_s:8.3f}s  {units:>9d} {unit_name:8s}"
+            f"  {record.units_per_s:12,.0f}/s"
+        )
+
+    derived: dict[str, float] = {}
+    scalar = records.get("calib-sweep-scalar")
+    vector = records.get("calib-sweep-vectorized")
+    if scalar and vector and scalar.units_per_s > 0:
+        derived["calib_vector_speedup"] = (
+            vector.units_per_s / scalar.units_per_s
+        )
+        say(
+            "calibration fast path: "
+            f"{derived['calib_vector_speedup']:.2f}x scalar throughput"
+        )
+
+    return {
+        "generated_by": "python -m repro bench",
+        "quick": quick,
+        "rounds": rounds,
+        "benchmarks": {
+            name: records[name].to_json() for name in names
+        },
+        "derived": derived,
+    }
+
+
+def check_report(
+    current: dict,
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> list[str]:
+    """Regression gate: failure messages, empty when the gate passes.
+
+    * every benchmark present in both reports must keep at least
+      ``(1 - threshold)`` of the baseline ``units_per_s`` — but only when
+      both reports ran in the same mode (quick workloads are sized
+      differently, so quick-vs-full throughput is not comparable);
+    * every derived ratio must likewise stay within ``threshold`` of its
+      baseline value (ratios are machine-independent and mode-independent,
+      so this part of the gate holds even for a quick run checked against
+      the committed full-mode baseline — the CI smoke configuration);
+    * the calibration fast path must stay at least ``min_speedup`` times
+      faster than the scalar reference, baseline or not.
+    """
+    failures: list[str] = []
+    same_mode = bool(current.get("quick")) == bool(baseline.get("quick"))
+    current_benchmarks = current.get("benchmarks", {})
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    for name, pinned in baseline_benchmarks.items():
+        measured = current_benchmarks.get(name)
+        if measured is None:
+            failures.append(f"{name}: in baseline but not measured")
+            continue
+        if not same_mode:
+            continue
+        floor = pinned["units_per_s"] * (1.0 - threshold)
+        if measured["units_per_s"] < floor:
+            drop = 1.0 - measured["units_per_s"] / pinned["units_per_s"]
+            failures.append(
+                f"{name}: {measured['units_per_s']:,.0f} "
+                f"{measured['unit_name']}/s is {drop:.0%} below baseline "
+                f"{pinned['units_per_s']:,.0f}/s "
+                f"(threshold {threshold:.0%})"
+            )
+    for key, pinned_value in baseline.get("derived", {}).items():
+        measured_value = current.get("derived", {}).get(key)
+        if measured_value is None:
+            failures.append(f"derived {key}: in baseline but not measured")
+        elif measured_value < pinned_value * (1.0 - threshold):
+            failures.append(
+                f"derived {key}: {measured_value:.2f} fell more than "
+                f"{threshold:.0%} below baseline {pinned_value:.2f}"
+            )
+    speedup = current.get("derived", {}).get("calib_vector_speedup")
+    if speedup is not None and speedup < min_speedup:
+        failures.append(
+            f"calibration fast path speedup {speedup:.2f}x is below the "
+            f"required {min_speedup:.1f}x — the vectorized sensing path "
+            "regressed toward the scalar loop"
+        )
+    return failures
+
+
+def format_report(report: dict) -> str:
+    """Human-oriented one-screen rendering of a report."""
+    lines = [
+        f"{'benchmark':24s} {'wall_s':>8s} {'units':>10s} "
+        f"{'throughput':>14s}"
+    ]
+    for name, entry in report.get("benchmarks", {}).items():
+        lines.append(
+            f"{name:24s} {entry['wall_s']:8.3f} "
+            f"{entry['units']:>10,d} "
+            f"{entry['units_per_s']:>12,.0f}/s"
+        )
+    for key, value in report.get("derived", {}).items():
+        lines.append(f"{key}: {value:.2f}x")
+    return "\n".join(lines)
+
+
+def load_report(path: Path) -> dict:
+    """Read a ``BENCH_perf.json`` produced by :func:`run_benchmarks`."""
+    with Path(path).open() as fh:
+        return json.load(fh)

@@ -82,6 +82,7 @@ def calibrate(
     distances_cm: np.ndarray | None = None,
     readings_per_point: int = 16,
     settle_time_s: float = 0.5,
+    vectorized: bool = True,
 ) -> CalibrationResult:
     """Run the Figure 4/5 sweep on one sensor specimen.
 
@@ -98,6 +99,12 @@ def calibrate(
         sensor measurement cycle, so each carries independent noise).
     settle_time_s:
         Simulated dwell before sampling starts at each point.
+    vectorized:
+        Use the batched sensing fast path (``output_voltage_array``).
+        Byte-identical to the sample-at-a-time loop — the committed FIG4/
+        FIG5 goldens pin this — just several times faster; ``False`` keeps
+        the scalar reference path for the perf benchmarks and the
+        equivalence property tests.
 
     Returns
     -------
@@ -113,20 +120,26 @@ def calibrate(
     samples = []
     clock = 0.0
     cycle = sensor.params.cycle_time_s
-    for distance in distances:
-        clock += settle_time_s
-        readings = np.empty(readings_per_point)
-        for i in range(readings_per_point):
-            clock += cycle * 1.05  # ensure a fresh measurement cycle
-            readings[i] = sensor.output_voltage(clock, float(distance))
-        samples.append(
-            CalibrationSample(
-                distance_cm=float(distance),
-                mean_voltage=float(readings.mean()),
-                std_voltage=float(readings.std(ddof=1)) if readings_per_point > 1 else 0.0,
-                n_readings=readings_per_point,
-            )
-        )
+    if vectorized:
+        # Build the exact clock sequence of the scalar loop (same float
+        # additions in the same order), then push every reading through
+        # the sensor in one batched call per grid point.
+        for distance in distances:
+            clock += settle_time_s
+            times = np.empty(readings_per_point)
+            for i in range(readings_per_point):
+                clock += cycle * 1.05  # ensure a fresh measurement cycle
+                times[i] = clock
+            readings = sensor.output_voltage_array(times, float(distance))
+            samples.append(_summarize(distance, readings, readings_per_point))
+    else:
+        for distance in distances:
+            clock += settle_time_s
+            readings = np.empty(readings_per_point)
+            for i in range(readings_per_point):
+                clock += cycle * 1.05  # ensure a fresh measurement cycle
+                readings[i] = sensor.output_voltage(clock, float(distance))
+            samples.append(_summarize(distance, readings, readings_per_point))
 
     voltages = np.array([s.mean_voltage for s in samples])
     return CalibrationResult(
@@ -135,6 +148,20 @@ def calibrate(
         power_law=fit_power_law(distances, voltages),
         surface_name=sensor.surface.name,
         ambient_name=sensor.ambient.name,
+    )
+
+
+def _summarize(
+    distance: float, readings: np.ndarray, readings_per_point: int
+) -> CalibrationSample:
+    """One grid point's statistics (shared by both calibrate paths)."""
+    return CalibrationSample(
+        distance_cm=float(distance),
+        mean_voltage=float(readings.mean()),
+        std_voltage=(
+            float(readings.std(ddof=1)) if readings_per_point > 1 else 0.0
+        ),
+        n_readings=readings_per_point,
     )
 
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable, Optional
 
 import numpy as np
@@ -46,6 +45,25 @@ __all__ = [
 #: work unit (and to prove that a cache hit recomputed nothing).
 _global_event_count = 0
 
+#: Heap entries are plain ``(time, priority, seq, event)`` tuples so that
+#: ``heappush``/``heappop`` compare via the C tuple fast path instead of a
+#: Python-level ``__lt__``; ``seq`` is unique, so the event object itself
+#: is never compared.
+_QueueEntry = tuple[float, int, int, "Event"]
+
+#: How many SeedSequence children :meth:`Simulator.spawn_rng` pre-spawns
+#: per refill.  ``SeedSequence.spawn(n)`` derives the identical children
+#: (same running spawn-key counter) as ``n`` separate ``spawn(1)`` calls,
+#: so batching is invisible to every consumer stream.
+_SPAWN_BATCH = 16
+
+#: Compact the queue when more than half of it is cancelled corpses (and
+#: it is large enough for the rebuild to be worth the heapify).
+_COMPACT_MIN_CANCELLED = 64
+
+#: Pre-drawn jitter values per :class:`PeriodicTask` refill.
+_JITTER_BATCH = 64
+
 
 def global_events_processed() -> int:
     """Total events executed by all simulators in this process."""
@@ -56,24 +74,58 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events order by ``(time, priority, seq)``.  The sequence number makes the
     ordering of same-time events deterministic (FIFO within a priority),
     which matters for reproducibility.
+
+    A ``__slots__`` class rather than a dataclass: events are the most
+    allocated object in the simulation, and the heap itself holds
+    ``(time, priority, seq, event)`` key tuples so event instances are
+    never compared during sift operations.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "_cancel_hook")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        cancel_hook: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: Owning simulator's dead-event accounting; detached once the
+        #: event leaves the queue so late cancels cannot skew the count.
+        self._cancel_hook = cancel_hook
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._cancel_hook is not None:
+                self._cancel_hook()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}{state})"
+        )
 
 
 class Simulator:
@@ -91,14 +143,16 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[_QueueEntry] = []
+        self._cancelled_in_queue = 0
         self._now = float(start_time)
         self._seq = itertools.count()
         self._running = False
         self._finished = False
         self._seed_seq = np.random.SeedSequence(seed)
+        self._spawn_pool: list[np.random.SeedSequence] = []
         self.rng: np.random.Generator = np.random.default_rng(
-            self._seed_seq.spawn(1)[0]
+            self._spawn_child()
         )
         self._event_count = 0
 
@@ -120,13 +174,27 @@ class Simulator:
         """Whether :meth:`run` drained the queue (resets on new events)."""
         return self._finished
 
+    def _spawn_child(self) -> np.random.SeedSequence:
+        """Next child seed, served from a pre-spawned pool.
+
+        ``SeedSequence.spawn`` threads a running counter into each child's
+        spawn key, so ``spawn(n)`` yields exactly the children that ``n``
+        single spawns would — pooling cuts the per-call spawn overhead in
+        hot construction paths (every board builds ~8 components) without
+        perturbing any stream.
+        """
+        if not self._spawn_pool:
+            # Reversed so list.pop() serves children in spawn order.
+            self._spawn_pool = self._seed_seq.spawn(_SPAWN_BATCH)[::-1]
+        return self._spawn_pool.pop()
+
     def spawn_rng(self) -> np.random.Generator:
         """Return an independent random generator.
 
         Each call derives a child stream from the simulator's seed sequence,
         so separate components get decorrelated but reproducible noise.
         """
-        return np.random.default_rng(self._seed_seq.spawn(1)[0])
+        return np.random.default_rng(self._spawn_child())
 
     # ------------------------------------------------------------------
     # scheduling
@@ -147,9 +215,16 @@ class Simulator:
                 f"clock is at {self._now} and only moves forward — use a "
                 "delay >= 0, or schedule_at() with a future absolute time"
             )
-        event = Event(self._now + delay, priority, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, self._note_cancelled)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         self._finished = False
+        if (
+            self._cancelled_in_queue > _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
         return event
 
     def schedule_at(
@@ -170,6 +245,32 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Dead-event accounting hook handed to every scheduled event."""
+        self._cancelled_in_queue += 1
+
+    def _discard(self, event: Event) -> None:
+        """Bookkeeping for an event leaving the queue without running."""
+        event._cancel_hook = None
+        self._cancelled_in_queue -= 1
+
+    def _compact(self) -> None:
+        """Purge cancelled corpses and re-heapify the survivors.
+
+        Long-lived runs that churn :meth:`PeriodicTask.stop` /
+        :meth:`Process.kill` otherwise accumulate dead entries that every
+        ``heappush`` must sift past.  Rebuilding keeps the same
+        ``(time, priority, seq)`` keys, so execution order is untouched.
+        """
+        for entry in self._queue:
+            if entry[3].cancelled:
+                entry[3]._cancel_hook = None
+        self._queue = [
+            entry for entry in self._queue if not entry[3].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
     def step(self) -> bool:
         """Execute the next pending event.
 
@@ -177,9 +278,11 @@ class Simulator:
         """
         global _global_event_count
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[3]
             if event.cancelled:
+                self._discard(event)
                 continue
+            event._cancel_hook = None
             self._now = event.time
             self._event_count += 1
             _global_event_count += 1
@@ -197,9 +300,10 @@ class Simulator:
                 f"run_until({end_time}) is before now ({self._now})"
             )
         while self._queue:
-            head = self._queue[0]
+            head = self._queue[0][3]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._discard(head)
                 continue
             if head.time > end_time:
                 break
@@ -217,7 +321,7 @@ class Simulator:
             caller forgot to schedule work or meant to build a new run.
         """
         if self._finished and not any(
-            not event.cancelled for event in self._queue
+            not entry[3].cancelled for entry in self._queue
         ):
             raise SimulationError(
                 "this simulator already ran to completion and the event "
@@ -242,9 +346,9 @@ class Simulator:
             # Discard cancelled heads first: peeking a cancelled event's
             # time and then calling step() would execute the next *live*
             # event, which may lie past max_time.
-            while self._queue and self._queue[0].cancelled:
-                heapq.heappop(self._queue)
-            if not self._queue or self._queue[0].time > max_time:
+            while self._queue and self._queue[0][3].cancelled:
+                self._discard(heapq.heappop(self._queue)[3])
+            if not self._queue or self._queue[0][0] > max_time:
                 break
             self.step()
         if not condition():
@@ -282,8 +386,9 @@ class Process:
         self._sim = sim
         self._gen = generator
         self._alive = True
-        self._pending: Optional[Event] = None
-        self._pending = sim.schedule(start_delay, self._resume)
+        self._pending: Optional[Event] = sim.schedule(
+            start_delay, self._resume
+        )
 
     @property
     def alive(self) -> bool:
@@ -353,6 +458,11 @@ class PeriodicTask:
         self._callback = callback
         self._jitter = float(jitter)
         self._rng = sim.spawn_rng() if jitter > 0 else None
+        # Jitter draws come from a private spawned generator that nothing
+        # else reads, so they can be pre-drawn in batches:
+        # ``rng.normal(size=n)`` is stream-identical to n scalar draws.
+        self._jitter_pool: Optional[np.ndarray] = None
+        self._jitter_index = 0
         self._running = True
         self._event: Optional[Event] = None
         first = self._period if phase is None else float(phase)
@@ -378,7 +488,15 @@ class PeriodicTask:
     def _next_delay(self) -> float:
         if self._rng is None:
             return self._period
-        delay = self._period + self._rng.normal(0.0, self._jitter)
+        if self._jitter_pool is None or self._jitter_index >= len(
+            self._jitter_pool
+        ):
+            self._jitter_pool = self._rng.normal(
+                0.0, self._jitter, size=_JITTER_BATCH
+            )
+            self._jitter_index = 0
+        delay = self._period + float(self._jitter_pool[self._jitter_index])
+        self._jitter_index += 1
         return max(delay, self._period * 0.1)
 
     def _tick(self) -> None:

@@ -1,0 +1,213 @@
+"""The ``repro bench`` suite and its perf-regression gate (PR 4)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BENCHMARKS,
+    BenchRecord,
+    check_report,
+    format_report,
+    run_benchmarks,
+)
+from repro.perf.bench import DEFAULT_MIN_SPEEDUP, DEFAULT_THRESHOLD
+
+
+def _report(benchmarks, derived=None, quick=False):
+    """A minimal, well-formed report for gate tests."""
+    return {
+        "generated_by": "test",
+        "quick": quick,
+        "rounds": 1,
+        "benchmarks": {
+            name: {
+                "wall_s": 1.0,
+                "units": int(value),
+                "unit_name": "units",
+                "units_per_s": float(value),
+                "rounds": 1,
+            }
+            for name, value in benchmarks.items()
+        },
+        "derived": dict(derived or {}),
+    }
+
+
+class TestBenchRecord:
+    def test_units_per_s(self):
+        record = BenchRecord("x", wall_s=0.5, units=100, unit_name="events",
+                             rounds=1)
+        assert record.units_per_s == 200.0
+
+    def test_zero_wall_does_not_divide(self):
+        record = BenchRecord("x", wall_s=0.0, units=100, unit_name="events",
+                             rounds=1)
+        assert record.units_per_s == 0.0
+
+    def test_to_json_round_trips_the_gate_fields(self):
+        payload = BenchRecord("x", wall_s=0.5, units=100,
+                              unit_name="events", rounds=3).to_json()
+        assert payload["units_per_s"] == 200.0
+        assert payload["unit_name"] == "events"
+        assert payload["rounds"] == 3
+
+
+class TestRunBenchmarks:
+    def test_subset_run_produces_report_shape(self):
+        report = run_benchmarks(only=["island-map"], quick=True)
+        assert report["quick"] is True
+        assert set(report["benchmarks"]) == {"island-map"}
+        entry = report["benchmarks"]["island-map"]
+        assert entry["units"] > 0
+        assert entry["units_per_s"] > 0
+        assert report["derived"] == {}  # no calib pair in the subset
+
+    def test_calib_pair_produces_speedup(self):
+        report = run_benchmarks(
+            only=["calib-sweep-scalar", "calib-sweep-vectorized"],
+            quick=True,
+        )
+        speedup = report["derived"]["calib_vector_speedup"]
+        # The acceptance bar for the fast path; quick mode must clear it
+        # too since CI gates on the quick run.
+        assert speedup >= DEFAULT_MIN_SPEEDUP
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmarks"):
+            run_benchmarks(only=["nope"])
+
+    def test_registry_names_are_stable(self):
+        # BENCH_perf.json keys live in git; renames must be deliberate.
+        assert {
+            "calib-sweep-scalar",
+            "calib-sweep-vectorized",
+            "kernel-events",
+            "kernel-cancel-churn",
+        } <= set(BENCHMARKS)
+
+
+class TestCheckReport:
+    def test_passes_when_identical(self):
+        baseline = _report({"a": 100.0}, {"calib_vector_speedup": 5.0})
+        assert check_report(baseline, baseline) == []
+
+    def test_fails_on_throughput_regression(self):
+        baseline = _report({"a": 100.0})
+        current = _report({"a": 100.0 * (1.0 - DEFAULT_THRESHOLD) - 1.0})
+        failures = check_report(current, baseline)
+        assert len(failures) == 1
+        assert "below baseline" in failures[0]
+
+    def test_tolerates_drop_within_threshold(self):
+        baseline = _report({"a": 100.0})
+        current = _report({"a": 80.0})  # 20% < 25% threshold
+        assert check_report(current, baseline) == []
+
+    def test_missing_benchmark_fails(self):
+        failures = check_report(_report({}), _report({"a": 100.0}))
+        assert failures == ["a: in baseline but not measured"]
+
+    def test_quick_vs_full_skips_absolute_throughput(self):
+        """Quick workloads are sized differently, so a quick run checked
+        against the committed full baseline must gate only on ratios."""
+        baseline = _report({"a": 100.0}, {"calib_vector_speedup": 5.0})
+        current = _report(
+            {"a": 10.0}, {"calib_vector_speedup": 5.0}, quick=True
+        )
+        assert check_report(current, baseline) == []
+
+    def test_derived_ratio_gated_even_across_modes(self):
+        baseline = _report({}, {"calib_vector_speedup": 6.0})
+        current = _report({}, {"calib_vector_speedup": 4.0}, quick=True)
+        failures = check_report(current, baseline)
+        assert any("calib_vector_speedup" in f for f in failures)
+
+    def test_min_speedup_floor_is_absolute(self):
+        """Even with a matching baseline, dropping under min_speedup fails
+        — the ISSUE's >=3x bar is not relative to anything."""
+        report = _report({}, {"calib_vector_speedup": 2.5})
+        failures = check_report(report, report)
+        assert any("below the required 3.0x" in f for f in failures)
+
+    def test_custom_threshold(self):
+        baseline = _report({"a": 100.0})
+        current = _report({"a": 89.0})
+        assert check_report(current, baseline, threshold=0.10)
+        assert check_report(current, baseline, threshold=0.20) == []
+
+
+class TestFormatReport:
+    def test_renders_each_benchmark_and_ratio(self):
+        text = format_report(
+            _report({"a": 100.0, "b": 2.0}, {"calib_vector_speedup": 5.0})
+        )
+        assert "a" in text and "b" in text
+        assert "calib_vector_speedup: 5.00x" in text
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in BENCHMARKS:
+            assert name in out
+
+    def test_unknown_only_exits_2(self, capsys):
+        assert main(["bench", "--only", "nope"]) == 2
+        assert "unknown benchmarks" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        code = main([
+            "bench", "--quick", "--only", "island-map",
+            "--output", str(tmp_path / "out.json"),
+            "--check", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_writes_report_and_passes_gate(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        baseline_path = tmp_path / "baseline.json"
+        # Seed an easy baseline, then check against it.
+        baseline = _report({"island-map": 1.0}, quick=True)
+        baseline_path.write_text(json.dumps(baseline))
+        code = main([
+            "bench", "--quick", "--only", "island-map",
+            "--output", str(out_path), "--check", str(baseline_path),
+        ])
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert "island-map" in report["benchmarks"]
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_gate_failure_exits_1(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        baseline_path = tmp_path / "baseline.json"
+        baseline = _report({"island-map": 1e15}, quick=True)
+        baseline_path.write_text(json.dumps(baseline))
+        code = main([
+            "bench", "--quick", "--only", "island-map",
+            "--output", str(out_path), "--check", str(baseline_path),
+        ])
+        assert code == 1
+        assert "perf gate FAILED" in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    def test_bench_perf_json_is_well_formed(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+        report = json.loads(path.read_text())
+        assert report["quick"] is False
+        assert set(report["benchmarks"]) == set(BENCHMARKS)
+        for entry in report["benchmarks"].values():
+            assert entry["units_per_s"] > 0
+        # The committed baseline must itself satisfy the acceptance bar.
+        assert (
+            report["derived"]["calib_vector_speedup"] >= DEFAULT_MIN_SPEEDUP
+        )

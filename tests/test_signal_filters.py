@@ -197,3 +197,91 @@ class TestRateLimiter:
     def test_invalid_rate_rejected(self):
         with pytest.raises(ValueError):
             RateLimiter(max_rate=0.0)
+
+
+_signal = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    min_size=0,
+    max_size=80,
+)
+
+
+class TestUpdateBatchEquivalence:
+    """update_batch (PR 4) must be bit-equal to sample-at-a-time update,
+    including the state the filter carries to the *next* call."""
+
+    @given(_signal, st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_ema(self, samples, alpha):
+        scalar = ExponentialMovingAverage(alpha)
+        batched = ExponentialMovingAverage(alpha)
+        out = batched.update_batch(samples)
+        assert out.tolist() == [scalar.update(x) for x in samples]
+        assert batched.value == scalar.value
+
+    @given(_signal, st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_moving_average(self, samples, window):
+        scalar = MovingAverage(window)
+        batched = MovingAverage(window)
+        out = batched.update_batch(samples)
+        assert out.tolist() == [scalar.update(x) for x in samples]
+        # Same internal running sum => next samples also agree.
+        assert batched.update(1.25) == scalar.update(1.25)
+
+    @given(_signal, st.integers(min_value=1, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_median(self, samples, window):
+        scalar = MedianFilter(window)
+        batched = MedianFilter(window)
+        out = batched.update_batch(samples)
+        assert out.tolist() == [scalar.update(x) for x in samples]
+        assert batched.update(0.5) == scalar.update(0.5)
+
+    @given(_signal)
+    @settings(max_examples=60, deadline=None)
+    def test_hysteresis_quantizer(self, samples):
+        scalar = HysteresisQuantizer(step=2.0, margin=0.5)
+        batched = HysteresisQuantizer(step=2.0, margin=0.5)
+        out = batched.update_batch(samples)
+        assert out.dtype == np.int64
+        assert out.tolist() == [scalar.update(x) for x in samples]
+        assert batched.level == scalar.level
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rate_limiter(self, pairs):
+        pairs.sort(key=lambda p: p[0])  # time moves forward
+        times = [t for t, _ in pairs]
+        targets = [x for _, x in pairs]
+        scalar = RateLimiter(max_rate=3.0)
+        batched = RateLimiter(max_rate=3.0)
+        out = batched.update_batch(times, targets)
+        assert out.tolist() == [
+            scalar.update(t, x) for t, x in pairs
+        ]
+        assert batched._value == scalar._value
+        assert batched._time == scalar._time
+
+    def test_rate_limiter_length_mismatch(self):
+        with pytest.raises(ValueError, match="pair up"):
+            RateLimiter(max_rate=1.0).update_batch([0.0, 1.0], [1.0])
+
+    def test_batch_then_scalar_resumes_seamlessly(self):
+        """A batch call leaves the same state a scalar prefix would."""
+        scalar = ExponentialMovingAverage(0.3)
+        batched = ExponentialMovingAverage(0.3)
+        prefix = [1.0, 4.0, -2.0, 0.5]
+        for x in prefix:
+            scalar.update(x)
+        batched.update_batch(prefix)
+        for x in [9.0, -1.0]:
+            assert batched.update(x) == scalar.update(x)

@@ -406,3 +406,214 @@ class TestRunWhileTimeBoundary:
         sim.run_while(lambda: True, max_time=max_time)
         assert all(t <= max_time for t in executed)
         assert sorted(d for d in live if d <= max_time) == sorted(executed)
+
+
+class TestEventSlots:
+    """The Event restructure (PR 4): __slots__, tuple heap keys."""
+
+    def test_no_instance_dict(self):
+        sim = Simulator(seed=0)
+        event = sim.schedule(1.0, lambda: None)
+        assert not hasattr(event, "__dict__")
+
+    def test_ordering_key(self):
+        sim = Simulator(seed=0)
+        early = sim.schedule(1.0, lambda: None)
+        late = sim.schedule(2.0, lambda: None)
+        urgent = sim.schedule(2.0, lambda: None, priority=-1)
+        assert early < late
+        assert urgent < late  # same time, lower priority value wins
+        assert late < sim.schedule(2.0, lambda: None)  # FIFO via seq
+
+    def test_cancel_is_idempotent_in_the_corpse_count(self):
+        sim = Simulator(seed=0)
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert sim._cancelled_in_queue == 1
+
+    def test_repr_mentions_cancelled(self):
+        sim = Simulator(seed=0)
+        event = sim.schedule(1.0, lambda: None)
+        assert "cancelled" not in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)
+
+    def test_cancel_after_execution_does_not_corrupt_count(self):
+        """The accounting hook detaches when an event leaves the queue, so
+        a late cancel() cannot drive the corpse count negative."""
+        sim = Simulator(seed=0)
+        fired = sim.schedule(0.1, lambda: None)
+        sim.run()
+        fired.cancel()
+        assert sim._cancelled_in_queue == 0
+
+
+class TestQueueCompaction:
+    def test_compaction_purges_corpses(self):
+        sim = Simulator(seed=0)
+        keep = [sim.schedule(1.0 + i, lambda: None) for i in range(40)]
+        kill = [sim.schedule(2.0 + i, lambda: None) for i in range(200)]
+        for event in kill:
+            event.cancel()
+        # The next push sees 200 corpses > max(64, half the queue) and
+        # rebuilds the heap.
+        keep.append(sim.schedule(500.0, lambda: None))
+        assert sim._cancelled_in_queue == 0
+        assert len(sim._queue) == len(keep)
+
+    def test_small_queues_never_compact(self):
+        sim = Simulator(seed=0)
+        for i in range(30):
+            sim.schedule(1.0 + i, lambda: None).cancel()
+        sim.schedule(100.0, lambda: None)
+        # 30 corpses is under the 64 floor: nothing purged yet.
+        assert sim._cancelled_in_queue == 30
+        assert len(sim._queue) == 31
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=150,
+            max_size=300,
+        ),
+        cancel_stride=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_execution_order_survives_compaction(
+        self, delays, cancel_stride
+    ):
+        """Compaction keeps the (time, priority, seq) keys, so the
+        surviving events run in exactly the order they would have without
+        the purge: sorted by time, FIFO among ties."""
+        sim = Simulator(seed=0)
+        executed = []
+        events = [
+            sim.schedule(delay, lambda i=i: executed.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        survivors = []
+        for i, event in enumerate(events):
+            if i % (cancel_stride + 1) != 0:
+                event.cancel()
+            else:
+                survivors.append(i)
+        sim.schedule(1e9, lambda: None)  # push that may trigger compaction
+        sim.run()
+        expected = [
+            i for _, i in sorted((delays[i], i) for i in survivors)
+        ]
+        assert executed == expected
+
+    def test_cancel_churn_scenario_matches_uncompacted_run(self, monkeypatch):
+        """The same periodic-task churn with compaction disabled produces
+        the identical event trace — the purge is invisible."""
+        import repro.sim.kernel as kernel
+
+        def run_churn():
+            sim = Simulator(seed=3)
+            ticks = []
+            for generation in range(6):
+                tasks = [
+                    PeriodicTask(
+                        sim,
+                        0.01 + i * 1e-4,
+                        lambda g=generation: ticks.append((g, sim.now)),
+                    )
+                    for i in range(40)
+                ]
+                sim.run_until(sim.now + 0.05)
+                for task in tasks:
+                    task.stop()
+            sim.run()
+            return ticks, sim.events_processed
+
+        baseline = run_churn()  # compaction active (default constants)
+        monkeypatch.setattr(kernel, "_COMPACT_MIN_CANCELLED", 10**9)
+        assert run_churn() == baseline
+
+
+class TestSpawnPooling:
+    def test_spawned_streams_match_unpooled_seedsequence(self):
+        """Pool refills use SeedSequence.spawn(n), which numpy guarantees
+        yields the same children as n separate spawn(1) calls — so every
+        generator the simulator hands out is bit-identical to the
+        pre-pooling implementation."""
+        import numpy as np
+
+        sim = Simulator(seed=123)
+        reference = np.random.SeedSequence(123).spawn(20)
+        # Child 0 seeds sim.rng; spawn_rng() serves 1, 2, ...
+        rngs = [sim.rng] + [sim.spawn_rng() for _ in range(19)]
+        for child, rng in zip(reference, rngs):
+            expected = np.random.default_rng(child)
+            assert (
+                rng.bit_generator.state == expected.bit_generator.state
+            )
+
+    def test_pool_refills_beyond_one_batch(self):
+        import numpy as np
+
+        sim = Simulator(seed=7)
+        reference = np.random.SeedSequence(7).spawn(40)
+        for child in reference[1:]:  # 0 went to sim.rng
+            rng = sim.spawn_rng()
+            expected = np.random.default_rng(child)
+            assert rng.bit_generator.state == expected.bit_generator.state
+
+
+class TestJitterBatching:
+    def test_jitter_ticks_match_scalar_draws(self):
+        """Pre-drawn normal(size=n) jitter must replay the exact tick
+        times of per-tick scalar draws from the same spawned stream."""
+        import numpy as np
+
+        sim = Simulator(seed=11)
+        times = []
+        PeriodicTask(sim, 0.1, lambda: times.append(sim.now), jitter=0.01)
+        sim.run(max_events=100)
+
+        # Reference: the task's private generator is the simulator's
+        # second spawned child (sim.rng took the first).
+        rng = np.random.default_rng(np.random.SeedSequence(11).spawn(2)[1])
+        expected = [0.1]  # first fire: phase defaults to one clean period
+        clock = 0.1
+        for _ in range(99):
+            delay = max(0.1 + rng.normal(0.0, 0.01), 0.1 * 0.1)
+            clock += delay
+            expected.append(clock)
+        assert times == expected
+
+    def test_jitter_free_task_draws_nothing(self):
+        sim = Simulator(seed=0)
+        state_before = sim.rng.bit_generator.state
+        count = [0]
+
+        def bump():
+            count[0] += 1
+
+        task = PeriodicTask(sim, 0.1, bump)
+        sim.run(max_events=50)
+        task.stop()
+        assert count[0] == 50
+        assert sim.rng.bit_generator.state == state_before
+
+
+class TestProcessPendingFix:
+    def test_pending_assigned_exactly_once(self):
+        """PR 4 satellite: Process.__init__ used to assign self._pending
+        twice (a leftover None pre-assignment); the surviving single
+        assignment must hold the start event so kill() can cancel it."""
+        sim = Simulator(seed=0)
+
+        def body():
+            yield 1.0
+
+        process = Process(sim, body(), start_delay=5.0)
+        assert process._pending is not None
+        assert process._pending.time == 5.0
+        process.kill()
+        assert process._pending.cancelled
+        sim.run()
+        assert not process.alive

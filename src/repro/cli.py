@@ -36,6 +36,14 @@ Commands
                            fail on >25% throughput regression against
                            the committed baseline or on the vectorized
                            calibration fast path dropping below 3x
+``trace <id> [--seed N] [--jobs N] [--out PATH] [--format chrome|jsonl]``
+                           run one experiment observed and summarize its
+                           sim-time spans; ``--out`` writes a Chrome
+                           trace-event JSON (opens in Perfetto) or JSONL
+``metrics [<id>] [--seed N] [--jobs N]``
+                           print the metric report of an observed run;
+                           without an id, runs a scripted device session
+                           and shows the per-stage firmware histograms
 """
 
 from __future__ import annotations
@@ -74,19 +82,123 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.jobs is None:
+    trace_out = getattr(args, "trace_out", None)
+    if args.jobs is None and trace_out is None:
         result = runner(args.seed)
     else:
+        # --trace-out always routes through the sharded runner (even for
+        # --jobs 1) so the observed payload takes the identical
+        # shard/merge path for every job count.
         from repro.runner import run_experiments
 
         results, _bench = run_experiments(
-            [experiment_id], seed=args.seed, jobs=max(1, args.jobs)
+            [experiment_id],
+            seed=args.seed,
+            jobs=max(1, args.jobs or 1),
+            observe=trace_out is not None,
         )
         result = results[experiment_id]
     print(result.table())
     if args.csv:
         result.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
+    if trace_out is not None:
+        from pathlib import Path
+
+        from repro.obs import to_chrome_trace
+
+        path = Path(trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            to_chrome_trace(result.obs or {}, title=experiment_id)
+        )
+        print(f"wrote {path} (open in https://ui.perfetto.dev)")
+    return 0
+
+
+def _observed_result(
+    experiment_id: str, seed: int, jobs: int
+) -> Optional[ExperimentResult]:
+    """Run one experiment under the observed runner path."""
+    from repro.runner import run_experiments
+
+    if experiment_id not in EXPERIMENT_RUNNERS:
+        print(
+            f"unknown experiment {experiment_id!r}; "
+            "see `python -m repro experiments`",
+            file=sys.stderr,
+        )
+        return None
+    results, _bench = run_experiments(
+        [experiment_id], seed=seed, jobs=max(1, jobs), observe=True
+    )
+    return results[experiment_id]
+
+
+def _device_session_payload(seed: int) -> dict:
+    """A scripted observed device session for bare ``repro metrics``.
+
+    Holds the device at four distances, clicks once, and returns the
+    recorder payload — enough activity to populate every firmware
+    per-stage histogram plus the kernel/ADC/I2C counters.
+    """
+    from repro.core.device import DistScroll
+    from repro.core.menu import build_menu
+    from repro.obs import Recorder, use_recorder
+
+    recorder = Recorder()
+    with use_recorder(recorder):
+        device = DistScroll(
+            build_menu([f"Item {i}" for i in range(10)]), seed=seed
+        )
+        for distance in (6.0, 12.0, 18.0, 24.0):
+            device.hold_at(distance)
+            device.run_for(0.75)
+        device.click("select")
+        recorder.record_snapshot(device.tracer, device.sim.now)
+    return recorder.payload()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import format_spans, to_chrome_trace, to_jsonl
+
+    experiment_id = args.experiment_id.upper()
+    result = _observed_result(experiment_id, args.seed, args.jobs)
+    if result is None:
+        return 2
+    payload = result.obs or {}
+    print(format_spans(payload))
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if args.format == "jsonl":
+            path.write_text(to_jsonl(payload))
+            print(f"wrote {path}")
+        else:
+            path.write_text(to_chrome_trace(payload, title=experiment_id))
+            print(f"wrote {path} (open in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import format_metrics
+
+    if args.experiment_id is None:
+        payload = _device_session_payload(args.seed)
+        print(
+            "scripted device session "
+            f"(seed {args.seed}; pass an experiment id for a real run)\n"
+        )
+    else:
+        result = _observed_result(
+            args.experiment_id.upper(), args.seed, args.jobs
+        )
+        if result is None:
+            return 2
+        payload = result.obs or {}
+    print(format_metrics(payload, histograms=not args.no_histograms))
     return 0
 
 
@@ -357,6 +469,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shard across N worker processes (same rows as serial)",
     )
+    run_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="run observed and write a Chrome trace-event JSON here "
+        "(byte-identical for any --jobs value; opens in Perfetto)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     run_all_parser = sub.add_parser(
@@ -510,6 +629,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="list benchmark names and exit",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one experiment observed and summarize its sim-time spans",
+    )
+    trace_parser.add_argument("experiment_id")
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="PATH", help="also write a trace file"
+    )
+    trace_parser.add_argument(
+        "--format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="--out format: Chrome trace-event JSON (Perfetto) or JSONL",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="print the metric report of an observed run",
+    )
+    metrics_parser.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="experiment id (omit for a scripted device session)",
+    )
+    metrics_parser.add_argument("--seed", type=int, default=0)
+    metrics_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    metrics_parser.add_argument(
+        "--no-histograms",
+        action="store_true",
+        help="suppress the per-bin histogram bars",
+    )
+    metrics_parser.set_defaults(func=_cmd_metrics)
 
     return parser
 

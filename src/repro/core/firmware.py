@@ -47,6 +47,7 @@ from repro.hardware.board import (
     ADC_CHANNEL_DISTANCE_SPARE,
     DistScrollBoard,
 )
+from repro.obs.recorder import Recorder, active_recorder
 from repro.sensors.fusion import DualRangeFinder
 from repro.hardware.display import BT96040, TEXT_LINES
 from repro.signal.filters import MedianFilter
@@ -159,6 +160,13 @@ class Firmware:
             )
             # The fusion routine and second ADC channel cost extra code.
             board.mcu.allocate("fusion-code", flash_bytes=1_800, ram_bytes=24)
+
+        # Observability binds once at construction (see repro.obs): the
+        # per-tick fast path stays a single None check when disabled.
+        recorder = active_recorder()
+        self._obs: Optional[Recorder] = (
+            recorder if isinstance(recorder, Recorder) else None
+        )
 
         self._wire_buttons()
         self._rebuild_islands()
@@ -418,6 +426,8 @@ class Firmware:
                 if not self._brownout_holding:
                     self._brownout_holding = True
                     self.brownout_holds += 1
+                    if self._obs is not None:
+                        self._obs.counter("firmware.brownout.holds")
                 return
             self.halt()
             return
@@ -451,11 +461,65 @@ class Firmware:
         period = self.config.firmware_period_s
         mcu.consume_power(period)
         board.battery.draw(_DISPLAY_CURRENT_MA, period)
+        if self._obs is not None:
+            self._record_tick_obs(now)
+
+    def _record_tick_obs(self, now: float) -> None:
+        """Emit the per-stage spans and histograms for one main-loop tick.
+
+        Sim time does not advance *inside* a tick — all the stage work is
+        charged to the MCU cycle budget — so span durations here are the
+        modeled stage costs converted through the MCU's instruction rate.
+        Stages are laid out back to back from the tick's start time,
+        which is exactly the budget accounting the C firmware would show
+        on a logic analyzer.
+        """
+        obs = self._obs
+        assert obs is not None
+        fused = self._fusion is not None
+        stages = (
+            ("buttons", _COST_BUTTON_POLL * len(self.board.buttons)),
+            ("adc", _COST_ADC_SAMPLE * (2 if fused else 1)),
+            ("filter", _COST_FILTER_PER_SAMPLE * self.config.smoothing_window),
+            ("fusion", _COST_FUSION if fused else 0),
+            ("island-lookup", _COST_ISLAND_LOOKUP),
+        )
+        mips = self.board.mcu.params.mips
+        cursor = now
+        total = 0
+        obs.begin_span("firmware.tick", now)
+        for stage, cycles in stages:
+            if cycles == 0:
+                continue
+            total += cycles
+            duration = cycles / mips
+            obs.emit_span(
+                f"firmware.tick.{stage}",
+                cursor,
+                cursor + duration,
+                {"cycles": cycles},
+            )
+            obs.observe(
+                f"firmware.stage.{stage}.cycles",
+                float(cycles),
+                low=1.0,
+                high=1e6,
+            )
+            cursor += duration
+        obs.end_span(cursor, {"cycles": total})
+        obs.observe("firmware.tick.cycles", float(total), low=1.0, high=1e6)
+        obs.gauge(
+            "firmware.battery.volts",
+            self.board.battery.terminal_voltage(),
+            now,
+        )
 
     def _process_code(self, code: int, now: float) -> None:
         # Fold-back / fast-scroll region: codes steeper than anything the
         # usable range produces.
         if code > self._fast_threshold_code:
+            if not self._foldback_latch and self._obs is not None:
+                self._obs.counter("firmware.foldback.latches")
             self._foldback_latch = True
             if self.config.fast_scroll_enabled:
                 self._fast_active = True
@@ -487,6 +551,8 @@ class Firmware:
             and abs(code - self._last_valid_code) > self._max_plausible_delta
         ):
             self._suspicious_streak += 1
+            if self._obs is not None:
+                self._obs.counter("firmware.plausibility.rejections")
             if self._suspicious_streak < 3:
                 return
         self._suspicious_streak = 0
@@ -515,6 +581,8 @@ class Firmware:
                 return
             self._confirmed_slot = slot
             self._candidate_slot = None
+            if self._obs is not None:
+                self._obs.counter("firmware.debounce.confirmations")
         n_slots = self.island_map.n_slots
         local = self._local_index_for_slot(slot, n_slots)
         size = self._effective_chunk_size()
@@ -587,6 +655,8 @@ class Firmware:
             else:
                 self.cursor.set_highlight(target)
             self._display_dirty = True
+            if self._obs is not None:
+                self._obs.counter("firmware.fastscroll.steps")
             self._emit(
                 FastScroll(time=now, index=self.cursor.highlight, step=direction)
             )
@@ -643,6 +713,8 @@ class Firmware:
             # dirty and come back with exponential backoff, as the C
             # firmware's display task does.
             self.i2c_render_failures += 1
+            if self._obs is not None:
+                self._obs.counter("firmware.render.failures")
             self._display_dirty = True
             self._render_backoff_s = min(
                 max(2.0 * self._render_backoff_s,
@@ -654,6 +726,8 @@ class Firmware:
         if self._render_backoff_s > 0.0:
             # A full frame landed after one or more failed attempts.
             self.i2c_render_recoveries += 1
+            if self._obs is not None:
+                self._obs.counter("firmware.render.recoveries")
             self._record_recovery_for_kind(
                 FaultKind.I2C_ERROR, now, "render-retry-backoff"
             )

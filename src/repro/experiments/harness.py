@@ -42,6 +42,10 @@ class ExperimentResult:
         Data rows (same arity as ``columns``).
     notes:
         Free-form findings appended under the table.
+    obs:
+        Optional observability payload (metrics snapshot + spans, see
+        :mod:`repro.obs`) attached when the run was observed.  Never
+        part of the CSV bytes; round-trips through :meth:`to_json`.
     """
 
     experiment_id: str
@@ -49,6 +53,7 @@ class ExperimentResult:
     columns: Sequence[str]
     rows: list[tuple] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    obs: dict[str, Any] | None = None
 
     def add_row(self, *values: Any) -> None:
         """Append one data row (checked against the column count)."""
@@ -158,6 +163,7 @@ class ExperimentResult:
             notes=list(self.notes),
         )
         copy.rows = [tuple(_pyify(v) for v in row) for row in self.rows]
+        copy.obs = self.obs
         return copy
 
     def to_json(self) -> str:
@@ -169,6 +175,8 @@ class ExperimentResult:
             "rows": [[_pyify(v) for v in row] for row in self.rows],
             "notes": list(self.notes),
         }
+        if self.obs is not None:
+            payload["obs"] = self.obs
         return json.dumps(payload, ensure_ascii=False)
 
     @classmethod
@@ -182,6 +190,7 @@ class ExperimentResult:
             notes=list(payload["notes"]),
         )
         result.rows = [tuple(row) for row in payload["rows"]]
+        result.obs = payload.get("obs")
         return result
 
 

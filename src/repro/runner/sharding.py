@@ -17,11 +17,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.harness import ExperimentResult
+from repro.obs.metrics import SNAPSHOT_VERSION, merge_snapshots
+from repro.obs.recorder import Recorder, use_recorder
 from repro.runner.registry import ExperimentSpec, resolve_entry
 from repro.sim import kernel
 
@@ -58,6 +60,9 @@ class ShardResult:
     data: Any
     events: int
     wall_s: float
+    #: Observability payload (:meth:`repro.obs.Recorder.payload`) when
+    #: the shard ran observed, else ``None``.
+    obs: Optional[dict[str, Any]] = None
 
 
 def spawn_shard_seeds(seed: int, n: int) -> list[int]:
@@ -96,32 +101,64 @@ def make_shards(spec: ExperimentSpec, seed: int) -> list[Shard]:
     )
 
 
-def execute_shard(spec: ExperimentSpec, seed: int, shard: Shard) -> ShardResult:
-    """Run one shard, measuring wall time and kernel events."""
-    events_before = kernel.global_events_processed()
-    start = time.perf_counter()
+def _dispatch_shard(spec: ExperimentSpec, seed: int, shard: Shard) -> Any:
+    """Run the shard's entry point (shared by observed/plain paths)."""
     if spec.sharder == "whole":
-        data: Any = spec.run_whole(seed)
-    elif spec.sharder == "param":
+        return spec.run_whole(seed)
+    if spec.sharder == "param":
         kwargs = spec.kwargs()
         kwargs[spec.shard_param] = (shard.payload,)
         data = resolve_entry(spec.entry)(seed=seed, **kwargs)
         if spec.result_index is not None:
             data = data[spec.result_index]
-    elif spec.sharder == "users":
+        return data
+    if spec.sharder == "users":
         kwargs = {
             name: value
             for name, value in spec.params
             if name != spec.n_users_param
         }
-        data = resolve_entry(spec.user_entry)(shard.payload, **kwargs)
+        return resolve_entry(spec.user_entry)(shard.payload, **kwargs)
+    raise ValueError(
+        f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
+    )
+
+
+def execute_shard(
+    spec: ExperimentSpec,
+    seed: int,
+    shard: Shard,
+    observe: bool = False,
+) -> ShardResult:
+    """Run one shard, measuring wall time and kernel events.
+
+    With ``observe=True`` the shard runs under a fresh
+    :class:`repro.obs.Recorder` and the result carries the payload.
+    The recorder only collects sim-derived values (never the wall
+    clock), so observed shard payloads merge byte-identically across
+    any job count.
+    """
+    events_before = kernel.global_events_processed()
+    start = time.perf_counter()
+    obs_payload: Optional[dict[str, Any]] = None
+    if observe:
+        recorder = Recorder()
+        with use_recorder(recorder):
+            data: Any = _dispatch_shard(spec, seed, shard)
+        events = kernel.global_events_processed() - events_before
+        recorder.counter("runner.shards")
+        if events:
+            recorder.observe(
+                "runner.shard.events", float(events), low=1.0, high=1e9
+            )
+        obs_payload = recorder.payload()
     else:
-        raise ValueError(
-            f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
-        )
+        data = _dispatch_shard(spec, seed, shard)
+        events = kernel.global_events_processed() - events_before
     wall_s = time.perf_counter() - start
-    events = kernel.global_events_processed() - events_before
-    return ShardResult(spec.experiment_id, shard.index, data, events, wall_s)
+    return ShardResult(
+        spec.experiment_id, shard.index, data, events, wall_s, obs_payload
+    )
 
 
 def merge_shard_results(
@@ -153,4 +190,21 @@ def merge_shard_results(
             f"merged from {len(ordered)} shards "
             f"(sharded by {spec.sharder!r})"
         )
-    return merged.normalized()
+    final = merged.normalized()
+    observed = [part for part in ordered if part.obs is not None]
+    if observed:
+        metrics: dict[str, Any] = {}
+        spans: list[dict[str, Any]] = []
+        for part in observed:
+            assert part.obs is not None
+            metrics = merge_snapshots(metrics, part.obs["metrics"])
+            spans.extend(
+                {**record, "shard": part.index}
+                for record in part.obs["spans"]
+            )
+        final.obs = {
+            "version": SNAPSHOT_VERSION,
+            "metrics": metrics,
+            "spans": spans,
+        }
+    return final

@@ -117,6 +117,9 @@ def calibrate(
     if np.any(distances < SENSOR_MIN_CM - 1e-9):
         raise ValueError("calibration sweep must stay on the monotone branch")
 
+    from repro.obs.recorder import active_recorder
+
+    obs = active_recorder()
     samples = []
     clock = 0.0
     cycle = sensor.params.cycle_time_s
@@ -126,20 +129,28 @@ def calibrate(
         # the sensor in one batched call per grid point.
         for distance in distances:
             clock += settle_time_s
+            dwell_from = clock
             times = np.empty(readings_per_point)
             for i in range(readings_per_point):
                 clock += cycle * 1.05  # ensure a fresh measurement cycle
                 times[i] = clock
             readings = sensor.output_voltage_array(times, float(distance))
             samples.append(_summarize(distance, readings, readings_per_point))
+            if obs.enabled:
+                _observe_point(obs, dwell_from, clock, distance,
+                               readings_per_point)
     else:
         for distance in distances:
             clock += settle_time_s
+            dwell_from = clock
             readings = np.empty(readings_per_point)
             for i in range(readings_per_point):
                 clock += cycle * 1.05  # ensure a fresh measurement cycle
                 readings[i] = sensor.output_voltage(clock, float(distance))
             samples.append(_summarize(distance, readings, readings_per_point))
+            if obs.enabled:
+                _observe_point(obs, dwell_from, clock, distance,
+                               readings_per_point)
 
     voltages = np.array([s.mean_voltage for s in samples])
     return CalibrationResult(
@@ -148,6 +159,27 @@ def calibrate(
         power_law=fit_power_law(distances, voltages),
         surface_name=sensor.surface.name,
         ambient_name=sensor.ambient.name,
+    )
+
+
+def _observe_point(
+    obs, start, end, distance, readings_per_point
+) -> None:
+    """Span + histogram bookkeeping for one calibration grid point.
+
+    ``start``/``end`` come from the sweep's manual sim clock (the same
+    float sequence on the vectorized and scalar paths), so an observed
+    FIG4 run produces identical spans regardless of path or job count.
+    """
+    obs.emit_span(
+        "calibration.point",
+        start,
+        end,
+        {"distance_cm": float(distance), "readings": readings_per_point},
+    )
+    obs.counter("calibration.points")
+    obs.observe(
+        "calibration.point.dwell_s", end - start, low=1e-3, high=1e2
     )
 
 

@@ -27,9 +27,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Iterable, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import Counter
+    from repro.obs.recorder import Recorder
 
 __all__ = [
     "SimulationError",
@@ -155,6 +159,21 @@ class Simulator:
             self._spawn_child()
         )
         self._event_count = 0
+        # Observability binding happens once, at construction: when a
+        # recorder is active we cache the instruments themselves, when
+        # not (the default) we cache None so the hot loop pays only an
+        # attribute load + identity check per event.  The import is
+        # deferred because repro.obs imports repro.sim.
+        from repro.obs.recorder import active_recorder
+
+        recorder = active_recorder()
+        self._obs_events: Optional["Counter"] = None
+        self._obs_recorder: Optional["Recorder"] = None
+        if recorder.enabled and recorder.metrics is not None:
+            self._obs_events = recorder.metrics.counter(
+                "kernel.events.dispatched"
+            )
+            self._obs_recorder = recorder
 
     # ------------------------------------------------------------------
     # clock and RNG
@@ -265,11 +284,20 @@ class Simulator:
         for entry in self._queue:
             if entry[3].cancelled:
                 entry[3]._cancel_hook = None
+        before = len(self._queue)
         self._queue = [
             entry for entry in self._queue if not entry[3].cancelled
         ]
         heapq.heapify(self._queue)
         self._cancelled_in_queue = 0
+        if self._obs_recorder is not None:
+            self._obs_recorder.counter("kernel.compactions")
+            self._obs_recorder.observe(
+                "kernel.compaction.purged",
+                float(before - len(self._queue)),
+                low=1.0,
+                high=1e6,
+            )
 
     def step(self) -> bool:
         """Execute the next pending event.
@@ -286,6 +314,8 @@ class Simulator:
             self._now = event.time
             self._event_count += 1
             _global_event_count += 1
+            if self._obs_events is not None:
+                self._obs_events.inc()
             event.callback()
             return True
         return False

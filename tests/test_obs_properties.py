@@ -1,0 +1,109 @@
+"""Property tests for metric snapshot merging (repro.obs.metrics).
+
+The parallel runner folds shard snapshots pairwise in shard order; the
+contract that makes ``--jobs 1 == --jobs N`` byte-identical is that
+:func:`merge_snapshots` is associative and commutative with ``{}`` as
+identity.  Histogram sums are exact rationals precisely so these
+properties hold *exactly*, not within floating-point tolerance — so the
+assertions below are strict equality on serialized snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import reduce
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricRegistry, merge_snapshots
+
+#: A small shared name pool so generated shards collide on metric names
+#: (colliding names are the interesting merge case).
+_NAMES = ["alpha", "beta", "gamma"]
+
+#: All generated histograms share one spec — mixed specs are a
+#: ValueError by design, covered in test_obs.py.
+_HIST_SPEC = {"low": 1e-3, "high": 1e3, "bins_per_decade": 2}
+
+_finite_values = st.floats(
+    min_value=-1e6,
+    max_value=1e6,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+@st.composite
+def snapshots(draw) -> dict:
+    """One shard's metric snapshot, built through the real instruments."""
+    registry = MetricRegistry()
+    for name in draw(st.sets(st.sampled_from(_NAMES))):
+        kind = draw(st.sampled_from(["counter", "gauge", "histogram"]))
+        # Prefix by kind so colliding names always collide with the
+        # same instrument kind (mixed kinds raise, tested elsewhere).
+        full = f"{kind}.{name}"
+        if kind == "counter":
+            registry.counter(full).inc(draw(st.integers(1, 1000)))
+        elif kind == "gauge":
+            registry.gauge(full).set(
+                draw(_finite_values), time=draw(_finite_values)
+            )
+        else:
+            histogram = registry.histogram(full, **_HIST_SPEC)
+            for value in draw(
+                st.lists(_finite_values, min_size=1, max_size=8)
+            ):
+                histogram.observe(abs(value))
+    return registry.snapshot()
+
+
+def _canon(snapshot: dict) -> str:
+    """Canonical bytes — merge equality must survive serialization."""
+    return json.dumps(snapshot, sort_keys=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=snapshots(), b=snapshots())
+def test_merge_commutative(a, b):
+    assert _canon(merge_snapshots(a, b)) == _canon(merge_snapshots(b, a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=snapshots(), b=snapshots(), c=snapshots())
+def test_merge_associative(a, b, c):
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert _canon(left) == _canon(right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=snapshots())
+def test_empty_is_identity(a):
+    assert _canon(merge_snapshots(a, {})) == _canon(a)
+    assert _canon(merge_snapshots({}, a)) == _canon(a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(parts=st.lists(snapshots(), min_size=1, max_size=5), seed=st.randoms())
+def test_fold_order_irrelevant(parts, seed):
+    """Any fold order over any permutation gives the same bytes —
+    exactly the freedom the parallel runner's completion order has."""
+    shuffled = list(parts)
+    seed.shuffle(shuffled)
+    forward = reduce(merge_snapshots, parts, {})
+    scrambled = reduce(merge_snapshots, shuffled, {})
+    assert _canon(forward) == _canon(scrambled)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=snapshots(), b=snapshots())
+def test_counter_totals_add(a, b):
+    merged = merge_snapshots(a, b)
+    for name, entry in merged.items():
+        if entry["type"] != "counter":
+            continue
+        expected = sum(
+            side[name]["value"] for side in (a, b) if name in side
+        )
+        assert entry["value"] == expected

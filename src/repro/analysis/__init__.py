@@ -1,5 +1,28 @@
-"""Statistics helpers shared by experiments and benchmarks."""
+"""Statistics helpers shared by experiments and benchmarks.
 
-from repro.analysis.stats import Summary, bootstrap_ci, linear_regression, summarize
+Two layers live here: the classic batch helpers (``summarize``,
+``bootstrap_ci``, ``linear_regression``) and the streaming aggregates
+(``StreamingMoments``, ``QuantileSketch``, ``CellCounter``) that give
+the population-scale user studies O(1)-memory, exactly-mergeable
+statistics.
+"""
 
-__all__ = ["Summary", "bootstrap_ci", "linear_regression", "summarize"]
+from repro.analysis.stats import (
+    CellCounter,
+    QuantileSketch,
+    StreamingMoments,
+    Summary,
+    bootstrap_ci,
+    linear_regression,
+    summarize,
+)
+
+__all__ = [
+    "CellCounter",
+    "QuantileSketch",
+    "StreamingMoments",
+    "Summary",
+    "bootstrap_ci",
+    "linear_regression",
+    "summarize",
+]

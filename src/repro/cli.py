@@ -8,10 +8,15 @@ calibration, or inspect an island-map configuration.
 Commands
 --------
 ``experiments``            list all experiment ids
-``run <id> [--seed N] [--csv PATH] [--jobs N]``
+``run <id> [--seed N] [--csv PATH] [--jobs N]
+          [--users N [--personas SPEC] [--battery NAME]]``
                            run one experiment and print its table;
                            ``--jobs N`` shards it across N worker
-                           processes via the parallel runner
+                           processes via the parallel runner.  For
+                           STUDY1, ``--users N`` switches to the
+                           population-scale persona study (streaming
+                           aggregation, O(1) memory, byte-identical
+                           for any job count)
 ``run-all [--jobs N] [--no-cache] [--only ID,ID] [--seed N]
           [--csv-dir DIR] [--cache-dir DIR] [--bench PATH]``
                            run the whole suite through the parallel
@@ -83,7 +88,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     trace_out = getattr(args, "trace_out", None)
-    if args.jobs is None and trace_out is None:
+    users = getattr(args, "users", None)
+    personas = getattr(args, "personas", None)
+    battery_name = getattr(args, "battery", None)
+    if users is None and (personas is not None or battery_name is not None):
+        print(
+            "--personas/--battery only apply to population runs; "
+            "add --users N",
+            file=sys.stderr,
+        )
+        return 2
+    if users is not None:
+        if experiment_id != "STUDY1":
+            print(
+                "--users is only meaningful for STUDY1",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.runner import run_experiments
+        from repro.runner.registry import scaled_user_study_spec
+
+        spec = scaled_user_study_spec(
+            users,
+            personas=personas or "full",
+            battery=battery_name or "scrolltest",
+        )
+        results, _bench = run_experiments(
+            [experiment_id],
+            seed=args.seed,
+            jobs=max(1, args.jobs or 1),
+            observe=trace_out is not None,
+            overrides={experiment_id: spec},
+        )
+        result = results[experiment_id]
+    elif args.jobs is None and trace_out is None:
         result = runner(args.seed)
     else:
         # --trace-out always routes through the sharded runner (even for
@@ -475,6 +513,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="run observed and write a Chrome trace-event JSON here "
         "(byte-identical for any --jobs value; opens in Perfetto)",
+    )
+    run_parser.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        metavar="N",
+        help="STUDY1 only: run the population-scale persona study with "
+        "N simulated users (streaming aggregation, O(1) memory; "
+        "byte-identical for any --jobs value)",
+    )
+    run_parser.add_argument(
+        "--personas",
+        default=None,
+        metavar="SPEC",
+        help="persona population spec for --users: 'full', 'bare', or "
+        "'dim=v1,v2;...' restrictions (e.g. 'glove=winter,arctic')",
+    )
+    run_parser.add_argument(
+        "--battery",
+        default=None,
+        metavar="NAME",
+        help="task battery for --users (default 'scrolltest')",
     )
     run_parser.set_defaults(func=_cmd_run)
 

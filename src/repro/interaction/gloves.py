@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Glove", "GLOVES"]
+__all__ = ["Glove", "GLOVES", "DEFAULT_GLOVE_WEIGHTS", "resolve_glove"]
 
 
 @dataclass(frozen=True)
@@ -116,3 +116,23 @@ GLOVES: dict[str, Glove] = {
         dexterity_time_factor=2.1,
     ),
 }
+
+#: Realistic population marginals over the presets, used by the persona
+#: engine's ``full`` specification (renormalized when restricted).
+DEFAULT_GLOVE_WEIGHTS: dict[str, float] = {
+    "none": 0.55,
+    "latex": 0.15,
+    "chemical": 0.10,
+    "winter": 0.12,
+    "arctic": 0.08,
+}
+
+
+def resolve_glove(name: str) -> Glove:
+    """Look up a preset by key with a helpful error on typos."""
+    try:
+        return GLOVES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown glove {name!r}; available: {', '.join(GLOVES)}"
+        ) from None

@@ -13,13 +13,22 @@ target sequences.  These generators produce reproducible task lists:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.core.menu import MenuEntry, flatten_paths
 
-__all__ = ["random_targets", "fitts_ladder", "hierarchical_tasks"]
+__all__ = [
+    "random_targets",
+    "fitts_ladder",
+    "hierarchical_tasks",
+    "Scenario",
+    "BATTERIES",
+    "battery",
+    "scenario_distances",
+]
 
 
 def random_targets(
@@ -110,3 +119,89 @@ def hierarchical_tasks(
         raise ValueError("menu has no leaves")
     for _ in range(n_tasks):
         yield paths[int(rng.integers(0, len(paths)))]
+
+
+# ---------------------------------------------------------------------------
+# ScrollTest-style scenario batteries (population-scale studies)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of a diversified task battery (per ScrollTest).
+
+    ScrollTest (Chen et al., PAPERS.md) evaluates scrolling techniques
+    over long lists, varied target distances, and both speed *and*
+    accuracy measures.  A scenario fixes the menu length, the trial
+    count, and a target-distance profile; ``error_recovery`` marks the
+    trials where a deliberate wrong activation must be backed out of,
+    so recovery cost shows up in the timings.
+    """
+
+    name: str
+    menu_entries: int
+    n_trials: int
+    #: ``"near"`` (1–3 entries away), ``"far"`` (most of the level) or
+    #: ``"mixed"`` (uniform over the level).
+    distance_profile: str
+    error_recovery: bool = False
+
+    def __post_init__(self) -> None:
+        if self.menu_entries < 2:
+            raise ValueError("menu_entries must be >= 2")
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        if self.distance_profile not in ("near", "far", "mixed"):
+            raise ValueError(
+                f"unknown distance_profile {self.distance_profile!r}"
+            )
+
+
+#: Named batteries.  ``scrolltest`` is the population-study default:
+#: short and long menus, near and far targets, and an error-recovery
+#: cell.  ``smoke`` is the CI-sized variant.
+BATTERIES: dict[str, tuple[Scenario, ...]] = {
+    "scrolltest": (
+        Scenario("short-near", 10, 4, "near"),
+        Scenario("short-far", 10, 4, "far"),
+        Scenario("long-menu", 40, 4, "mixed"),
+        Scenario("error-recovery", 10, 3, "mixed", error_recovery=True),
+    ),
+    "smoke": (
+        Scenario("short-mixed", 10, 2, "mixed"),
+        Scenario("long-menu", 40, 2, "mixed"),
+    ),
+}
+
+
+def battery(name: str) -> tuple[Scenario, ...]:
+    """Look up a named battery with a helpful error on typos."""
+    try:
+        return BATTERIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown battery {name!r}; available: {', '.join(BATTERIES)}"
+        ) from None
+
+
+def scenario_distances(
+    scenario: Scenario, rng: np.random.Generator
+) -> list[int]:
+    """Per-trial target *index distances* for one scenario.
+
+    Distances are in entries within the scenario's level; the caller
+    maps them to physical centimetres via the device geometry.  Every
+    distance is at least 1 (a trial always requires real movement).
+    """
+    top = scenario.menu_entries - 1
+    distances: list[int] = []
+    for _ in range(scenario.n_trials):
+        if scenario.distance_profile == "near":
+            distance = 1 + int(rng.integers(0, min(3, top)))
+        elif scenario.distance_profile == "far":
+            low = max(1, (2 * top) // 3)
+            distance = low + int(rng.integers(0, top - low + 1))
+        else:  # mixed
+            distance = 1 + int(rng.integers(0, top))
+        distances.append(min(distance, top))
+    return distances

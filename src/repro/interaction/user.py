@@ -160,13 +160,40 @@ class SimulatedUser:
     profile: Optional[MotorProfile] = None
     glove: Glove = field(default_factory=lambda: GLOVES["none"])
     handedness: str = "right"
+    #: Extra hand-tremor RMS multiplier on top of the glove's factor —
+    #: the persona engine's motor-ability hook (1.0 = nominal).
+    tremor_scale: float = 1.0
     max_attempts: int = 12
     practice_trials: int = field(default=0, init=False)
+
+    @classmethod
+    def for_persona(
+        cls,
+        device: DistScroll,
+        rng: np.random.Generator,
+        persona: "object",
+    ) -> "SimulatedUser":
+        """Build a user parameterized by a
+        :class:`~repro.interaction.personas.Persona`.
+
+        The persona supplies the scaled motor profile, worn glove,
+        handedness and tremor multiplier; ``rng`` stays the
+        participant's private stream.  (Typed loosely to avoid a
+        circular import — personas imports :class:`MotorProfile`.)
+        """
+        return cls(
+            device=device,
+            rng=rng,
+            profile=persona.motor_profile(rng),  # type: ignore[attr-defined]
+            glove=persona.glove_model(),  # type: ignore[attr-defined]
+            handedness=persona.handedness,  # type: ignore[attr-defined]
+            tremor_scale=persona.tremor_scale,  # type: ignore[attr-defined]
+        )
 
     def __post_init__(self) -> None:
         if self.profile is None:
             self.profile = MotorProfile.sample(self.rng)
-        tremor = 0.08 * self.glove.tremor_factor
+        tremor = 0.08 * self.glove.tremor_factor * self.tremor_scale
         board = self.device.board
         self.hand = Hand(
             self.device.sim,

@@ -240,6 +240,26 @@ def _device_second_observed(quick: bool) -> Callable[[], int]:
     return workload
 
 
+def _user_study_throughput(quick: bool) -> Callable[[], int]:
+    """Population-study participants per second (``--users`` path).
+
+    Times :func:`repro.experiments.user_study.run_user_block` — persona
+    derivation, the analytic trial battery, and the streaming fold into
+    a :class:`~repro.experiments.user_study.StudyAggregate` — which is
+    exactly the per-shard work of ``repro run STUDY1 --users N``.  The
+    ``users_per_second`` gate keeps million-user studies tractable.
+    """
+    from repro.experiments.user_study import run_user_block
+
+    users = 500 if quick else 4000
+
+    def workload() -> int:
+        aggregate = run_user_block(0, 0, users)
+        return aggregate.n_users
+
+    return workload
+
+
 #: name -> (factory(quick) -> workload, unit name).  The factory imports
 #: lazily so ``repro bench --list`` stays fast and dependency-light.
 BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
@@ -257,6 +277,7 @@ BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
     "kernel-cancel-churn": (_kernel_cancel_churn, "events"),
     "device-second": (_device_second, "events"),
     "device-second-observed": (_device_second_observed, "events"),
+    "user-study-throughput": (_user_study_throughput, "users"),
 }
 
 
@@ -314,6 +335,11 @@ def run_benchmarks(
             "calibration fast path: "
             f"{derived['calib_vector_speedup']:.2f}x scalar throughput"
         )
+    study = records.get("user-study-throughput")
+    if study is not None:
+        # Surfaced as a named derived value so dashboards and the gate
+        # can track "how big a study is feasible" directly.
+        derived["users_per_second"] = study.units_per_s
     plain = records.get("device-second")
     observed = records.get("device-second-observed")
     if plain and observed and plain.units_per_s > 0:

@@ -23,7 +23,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.experiments.harness import ExperimentResult
 from repro.runner.cache import ResultCache
-from repro.runner.registry import REGISTRY
+from repro.runner.registry import REGISTRY, ExperimentSpec
 from repro.runner.sharding import (
     ShardResult,
     execute_shard,
@@ -35,15 +35,16 @@ __all__ = ["run_experiments"]
 
 
 def _shard_task(
-    experiment_id: str, seed: int, shard_index: int, observe: bool = False
+    spec: ExperimentSpec, seed: int, shard_index: int, observe: bool = False
 ) -> ShardResult:
     """Worker entry: re-derive the shard locally and execute it.
 
-    Only ``(id, seed, index, observe)`` crosses the process boundary;
-    the worker reconstructs the shard from the registry, which
-    guarantees it runs exactly what the inline path would.
+    Only ``(spec, seed, index, observe)`` crosses the process boundary —
+    the spec is plain frozen data, so dynamic specs (e.g. a ``--users``
+    population study not present in the registry) ship exactly like
+    registry ones.  The worker reconstructs the shard from the spec,
+    which guarantees it runs exactly what the inline path would.
     """
-    spec = REGISTRY[experiment_id]
     shard = make_shards(spec, seed)[shard_index]
     return execute_shard(spec, seed, shard, observe=observe)
 
@@ -57,6 +58,7 @@ def run_experiments(
     bench_path: Optional[Path | str] = None,
     echo: Optional[Callable[[str], None]] = None,
     observe: bool = False,
+    overrides: Optional[dict[str, ExperimentSpec]] = None,
 ) -> tuple[dict[str, ExperimentResult], dict]:
     """Run experiments, possibly in parallel and/or from cache.
 
@@ -81,6 +83,11 @@ def run_experiments(
         the merged observability payload to each result's ``obs``
         attribute.  Caching is bypassed (cached results carry no
         payload), and the payload is deterministic across ``jobs``.
+    overrides:
+        Specs that replace (or extend) the registry per experiment id —
+        how the CLI injects a dynamic ``--users N`` population spec.
+        Cache keys include the spec parameters, so overridden and
+        registry runs never collide.
 
     Returns
     -------
@@ -90,7 +97,8 @@ def run_experiments(
     say = echo or (lambda _line: None)
     if observe:
         cache = None  # cached results carry no observability payload
-    unknown = [i for i in experiment_ids if i not in REGISTRY]
+    specs = {**REGISTRY, **(overrides or {})}
+    unknown = [i for i in experiment_ids if i not in specs]
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
 
@@ -101,7 +109,7 @@ def run_experiments(
     shard_counts: dict[str, int] = {}
 
     for experiment_id in experiment_ids:
-        spec = REGISTRY[experiment_id]
+        spec = specs[experiment_id]
         if cache is not None:
             hit = cache.get(spec, seed)
             if hit is not None:
@@ -126,7 +134,7 @@ def run_experiments(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 pool.submit(
-                    _shard_task, experiment_id, seed, index, observe
+                    _shard_task, specs[experiment_id], seed, index, observe
                 ): (
                     experiment_id,
                     index,
@@ -138,13 +146,13 @@ def run_experiments(
     else:
         for experiment_id, index in pending:
             shard_results[(experiment_id, index)] = _shard_task(
-                experiment_id, seed, index, observe
+                specs[experiment_id], seed, index, observe
             )
 
     for experiment_id in experiment_ids:
         if experiment_id in results:
             continue  # cache hit
-        spec = REGISTRY[experiment_id]
+        spec = specs[experiment_id]
         parts = [
             shard_results[(experiment_id, index)]
             for index in range(shard_counts[experiment_id])

@@ -23,6 +23,13 @@ Sharding strategies
     ``seeds_entry`` (legacy master-stream draws) or, when absent, from
     ``SeedSequence`` spawning via
     :func:`repro.runner.sharding.spawn_shard_seeds`.
+``userblocks``
+    Fixed-size blocks of participants (``users_per_shard`` each), for
+    population-scale studies: a million users is ~250 shards, not a
+    million.  The block entry receives ``(seed, start, count)`` and
+    returns a streaming aggregate; per-user state derives from
+    ``(seed, user_index)`` alone, so the shard layout — and therefore
+    ``--jobs`` — cannot affect the merged bytes.
 """
 
 from __future__ import annotations
@@ -33,7 +40,13 @@ from typing import Any, Callable, Dict, Tuple
 
 from repro.experiments.harness import ExperimentResult
 
-__all__ = ["ExperimentSpec", "REGISTRY", "build_runner", "resolve_entry"]
+__all__ = [
+    "ExperimentSpec",
+    "REGISTRY",
+    "build_runner",
+    "resolve_entry",
+    "scaled_user_study_spec",
+]
 
 
 def resolve_entry(entry: str) -> Callable:
@@ -67,6 +80,8 @@ class ExperimentSpec:
     #: Optional ``(seed, n) -> list[int]`` deriving per-user seeds; when
     #: ``None`` the runner uses SeedSequence spawning.
     seeds_entry: str | None = None
+    #: For ``userblocks`` sharding: participants per block.
+    users_per_shard: int = 4096
 
     def kwargs(self) -> dict:
         """The entry-point keyword arguments as a fresh dict."""
@@ -212,6 +227,39 @@ REGISTRY: Dict[str, ExperimentSpec] = dict(
         ),
     )
 )
+
+
+def scaled_user_study_spec(
+    n_users: int,
+    personas: str = "full",
+    battery: str = "scrolltest",
+    users_per_shard: int = 4096,
+) -> ExperimentSpec:
+    """A dynamic STUDY1 spec for ``repro run STUDY1 --users N``.
+
+    Not in :data:`REGISTRY` (the population size is a CLI decision);
+    pass it to :func:`repro.runner.pool.run_experiments` via
+    ``overrides``.  The spec is plain frozen data, so workers receive
+    it by pickle exactly like registry specs.
+    """
+    if n_users < 1:
+        raise ValueError("n_users must be >= 1")
+    if users_per_shard < 1:
+        raise ValueError("users_per_shard must be >= 1")
+    return ExperimentSpec(
+        experiment_id="STUDY1",
+        entry="repro.experiments.user_study:run_scaled_user_study",
+        params=(
+            ("n_users", n_users),
+            ("personas", personas),
+            ("battery", battery),
+        ),
+        sharder="userblocks",
+        user_entry="repro.experiments.user_study:run_user_block",
+        aggregate_entry="repro.experiments.user_study:finalize_scaled_study",
+        aggregate_params=("n_users", "personas", "battery"),
+        users_per_shard=users_per_shard,
+    )
 
 
 def build_runner(spec: ExperimentSpec) -> Callable[[int], ExperimentResult]:

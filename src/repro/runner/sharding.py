@@ -11,6 +11,10 @@ loop does), while ``users`` shards get one seed per participant — either
 from the experiment's own legacy derivation (``seeds_entry``) or from
 :func:`spawn_shard_seeds`, which spawns ``numpy.random.SeedSequence``
 children so streams stay decorrelated no matter how many shards exist.
+``userblocks`` shards carry ``(start, count)`` ranges of participant
+indices; every participant's streams derive from ``(seed, user_index)``
+alone, so neither the block size nor the job count can affect the
+merged aggregate's bytes.
 """
 
 from __future__ import annotations
@@ -96,6 +100,19 @@ def make_shards(spec: ExperimentSpec, seed: int) -> list[Shard]:
             Shard(spec.experiment_id, i, n_users, payload=user_seed)
             for i, user_seed in enumerate(user_seeds)
         ]
+    if spec.sharder == "userblocks":
+        n_users = int(dict(spec.params)[spec.n_users_param])
+        block = spec.users_per_shard
+        starts = list(range(0, n_users, block))
+        return [
+            Shard(
+                spec.experiment_id,
+                i,
+                len(starts),
+                payload=(start, min(block, n_users - start)),
+            )
+            for i, start in enumerate(starts)
+        ]
     raise ValueError(
         f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
     )
@@ -119,6 +136,14 @@ def _dispatch_shard(spec: ExperimentSpec, seed: int, shard: Shard) -> Any:
             if name != spec.n_users_param
         }
         return resolve_entry(spec.user_entry)(shard.payload, **kwargs)
+    if spec.sharder == "userblocks":
+        kwargs = {
+            name: value
+            for name, value in spec.params
+            if name != spec.n_users_param
+        }
+        start, count = shard.payload
+        return resolve_entry(spec.user_entry)(seed, start, count, **kwargs)
     raise ValueError(
         f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
     )
@@ -172,7 +197,7 @@ def merge_shard_results(
     scalars so fresh and cache-loaded results are byte-identical.
     """
     ordered = sorted(results, key=lambda r: r.index)
-    if spec.sharder == "users":
+    if spec.sharder in ("users", "userblocks"):
         kwargs = {
             name: value
             for name, value in spec.params

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.stats import bootstrap_ci, linear_regression, summarize
+from repro.analysis.stats import (
+    QuantileSketch,
+    StreamingMoments,
+    bootstrap_ci,
+    linear_regression,
+    summarize,
+)
 from repro.experiments.harness import ExperimentResult
 
 
@@ -44,6 +50,43 @@ class TestStats:
     def test_linear_regression_validation(self):
         with pytest.raises(ValueError):
             linear_regression(np.array([1.0]), np.array([1.0]))
+
+    def test_summarize_rejects_nan(self, rng):
+        with pytest.raises(ValueError, match="NaN"):
+            summarize(np.array([1.0, np.nan, 3.0]), rng)
+
+    def test_bootstrap_rejects_nan_and_empty(self, rng):
+        with pytest.raises(ValueError, match="NaN"):
+            bootstrap_ci(np.array([np.nan]), rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]), rng)
+
+    def test_streaming_moments_edge_cases(self):
+        empty = StreamingMoments()
+        assert empty.mean is None
+        assert empty.variance is None
+        assert empty.std is None
+        single = StreamingMoments()
+        single.add(2.5)
+        assert single.mean == 2.5
+        assert single.variance is None  # ddof=1 needs two samples
+        single.add(2.5)
+        assert single.variance == 0.0
+        with pytest.raises(ValueError, match="NaN"):
+            single.add(float("nan"))
+        assert single.count == 2  # the rejected value left no trace
+
+    def test_quantile_sketch_edge_cases(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="NaN"):
+            sketch.add(float("nan"))
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            QuantileSketch(low=0.0, high=1.0)
+        sketch.add(5.0)
+        assert sketch.quantile(0.0) == 5.0
+        assert sketch.quantile(1.0) == 5.0
 
     def test_summary_row_format(self, rng):
         summary = summarize(np.array([1.0, 2.0]), rng)

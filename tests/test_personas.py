@@ -1,0 +1,132 @@
+"""Persona engine: determinism, spec parsing, and the golden pin.
+
+The population studies promise that participant ``i`` of population
+seed ``s`` is the same human being no matter which shard, process or
+job count computes them.  These tests pin that promise: index-order
+independence, partition independence, and a committed golden sample
+that fails loudly if the derivation ever drifts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.interaction.gloves import GLOVES
+from repro.interaction.personas import (
+    PERSONA_DIMENSIONS,
+    Persona,
+    parse_spec,
+    persona_for_user,
+    sample_personas,
+    user_rng,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "personas_16.json"
+
+
+class TestDeterminism:
+    def test_same_index_same_persona_regardless_of_order(self):
+        spec = parse_spec("full")
+        forward = [persona_for_user(7, i, spec) for i in range(50)]
+        backward = [
+            persona_for_user(7, i, spec) for i in reversed(range(50))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_partitioned_derivation_matches_whole(self):
+        """Deriving users in shard-sized slices changes nothing."""
+        spec = parse_spec("full")
+        whole = [persona_for_user(3, i, spec) for i in range(60)]
+        sliced: list[Persona] = []
+        for start, stop in ((0, 13), (13, 30), (30, 47), (47, 60)):
+            sliced.extend(
+                persona_for_user(3, i, spec) for i in range(start, stop)
+            )
+        assert sliced == whole
+
+    def test_seed_changes_population(self):
+        a = [p.cell() for p in sample_personas(0, 40)]
+        b = [p.cell() for p in sample_personas(1, 40)]
+        assert a != b
+
+    def test_trial_rng_independent_per_user(self):
+        """User RNGs are decorrelated and index-addressable."""
+        first = user_rng(5, 10).random(4)
+        again = user_rng(5, 10).random(4)
+        other = user_rng(5, 11).random(4)
+        assert np.array_equal(first, again)
+        assert not np.array_equal(first, other)
+
+    def test_golden_sixteen_persona_sample(self):
+        """Byte-level pin of the first 16 personas of seed 0."""
+        payload = [p.to_json() for p in sample_personas(0, 16)]
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        assert rendered == GOLDEN.read_text(), (
+            "persona derivation drifted from tests/data/personas_16.json; "
+            "this breaks every pinned population study — if intentional, "
+            "regenerate the golden and say so in the changelog"
+        )
+
+
+class TestSpecs:
+    def test_full_covers_all_dimensions(self):
+        spec = parse_spec("full")
+        assert [v for v, _w in spec.gloves] == list(GLOVES)
+        assert [v for v, _w in spec.age_band] == list(
+            PERSONA_DIMENSIONS["age_band"]
+        )
+
+    def test_bare_restricts_to_ideal_conditions(self):
+        personas = sample_personas(0, 30, parse_spec("bare"))
+        assert {p.glove for p in personas} == {"none"}
+        assert {p.motor for p in personas} == {"steady"}
+        assert {p.vision for p in personas} == {"normal"}
+
+    def test_restriction_renormalizes_weights(self):
+        spec = parse_spec("glove=winter,arctic")
+        weights = dict(spec.gloves)
+        assert set(weights) == {"winter", "arctic"}
+        assert sum(weights.values()) == pytest.approx(1.0)
+        personas = sample_personas(0, 30, spec)
+        assert {p.glove for p in personas} <= {"winter", "arctic"}
+
+    def test_age_and_glove_aliases(self):
+        spec = parse_spec("age=senior;glove=none")
+        assert [v for v, _w in spec.age_band] == ["senior"]
+        assert [v for v, _w in spec.gloves] == ["none"]
+
+    def test_bad_clause_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec("species=android")
+        with pytest.raises(ValueError):
+            parse_spec("glove=asbestos")
+
+    def test_spec_changes_cache_identity(self):
+        assert parse_spec("full").canonical() != parse_spec(
+            "glove=none"
+        ).canonical()
+
+
+class TestPersonaEffects:
+    def test_senior_tremor_profile_is_slower_and_noisier(self):
+        spec = parse_spec("age=senior;motor=tremor;glove=none;vision=low")
+        young = parse_spec("age=young;motor=steady;glove=none;vision=normal")
+        slow = sample_personas(0, 1, spec)[0].motor_profile(
+            np.random.default_rng(1)
+        )
+        fast = sample_personas(0, 1, young)[0].motor_profile(
+            np.random.default_rng(1)
+        )
+        assert slow.reaction_time_s > fast.reaction_time_s
+        assert slow.endpoint_sigma_frac > fast.endpoint_sigma_frac
+
+    def test_cell_label_shape(self):
+        persona = sample_personas(0, 1)[0]
+        parts = persona.cell().split("/")
+        assert len(parts) == 5
+        assert parts[0] in PERSONA_DIMENSIONS["age_band"]
+        assert parts[4] in GLOVES

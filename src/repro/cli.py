@@ -456,7 +456,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 2
 
-    report = run_benchmarks(only=only, quick=args.quick, echo=print)
+    try:
+        report = run_benchmarks(only=only, quick=args.quick, echo=print)
+    except KeyError as error:
+        # Safety net behind the pre-validation above: run_benchmarks
+        # raises KeyError for names it does not know, and a raw
+        # traceback must never escape the CLI.  Exit 2 matches the
+        # documented missing-baseline/bad-arguments code.
+        print(
+            f"{error.args[0]}; valid names: {', '.join(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(report, indent=2) + "\n")

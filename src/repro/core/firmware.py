@@ -25,7 +25,7 @@ optionally — the steep region is exploited as a **fast-scroll** gesture
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.core.config import DeviceConfig, ScrollDirection
 from repro.core.events import (
@@ -69,6 +69,14 @@ _DISPLAY_CURRENT_MA = 6.0
 #: RF transmit pulse: charge per packet expressed as mA for 5 ms.
 _RF_PULSE_MA = 18.0
 _RF_PULSE_S = 0.005
+
+#: One precomputed tick-obs stage: (span name, duration, attrs,
+#: sorted attr items, cycles histogram, cycles as float).
+_TickObsStage = tuple[
+    str, float, dict[str, int], tuple[tuple[str, int], ...], Any, float
+]
+#: (stage rows, tick attrs, tick histogram, total cycles, battery gauge).
+_TickObsPlan = tuple[list[_TickObsStage], dict[str, int], Any, float, Any]
 
 
 class Firmware:
@@ -167,6 +175,10 @@ class Firmware:
         self._obs: Optional[Recorder] = (
             recorder if isinstance(recorder, Recorder) else None
         )
+        # Precomputed tick-obs stage table, built lazily on the first
+        # observed tick (stage costs and the MCU rate are fixed after
+        # construction, so names/durations/instruments never change).
+        self._tick_obs_plan: Optional[_TickObsPlan] = None
 
         self._wire_buttons()
         self._rebuild_islands()
@@ -476,6 +488,31 @@ class Firmware:
         """
         obs = self._obs
         assert obs is not None
+        plan = self._tick_obs_plan
+        if plan is None:
+            plan = self._tick_obs_plan = self._build_tick_obs_plan(obs)
+        stage_rows, tick_attrs, tick_hist, total_f, battery_gauge = plan
+        cursor = now
+        obs.begin_span("firmware.tick", now)
+        for span_name, duration, attrs, items, hist, cycles_f in stage_rows:
+            end = cursor + duration
+            obs.emit_span_static(span_name, cursor, end, attrs, items)
+            hist.observe(cycles_f)
+            cursor = end
+        obs.end_span(cursor, tick_attrs)
+        tick_hist.observe(total_f)
+        battery_gauge.set(self.board.battery.terminal_voltage(), now)
+
+    def _build_tick_obs_plan(self, obs: Recorder) -> "_TickObsPlan":
+        """Precompute the per-stage span names, durations and instruments.
+
+        The stage cycle costs depend only on the board layout and firmware
+        config, both fixed after construction, so the f-string name
+        formatting, attr dicts and registry lookups need to happen once —
+        not on every tick.  Durations are accumulated back into ``now``
+        per tick with the same ``cursor + duration`` op sequence as the
+        unrolled loop, keeping exported trace bytes identical.
+        """
         fused = self._fusion is not None
         stages = (
             ("buttons", _COST_BUTTON_POLL * len(self.board.buttons)),
@@ -485,33 +522,31 @@ class Firmware:
             ("island-lookup", _COST_ISLAND_LOOKUP),
         )
         mips = self.board.mcu.params.mips
-        cursor = now
+        rows: list[_TickObsStage] = []
         total = 0
-        obs.begin_span("firmware.tick", now)
         for stage, cycles in stages:
             if cycles == 0:
                 continue
             total += cycles
-            duration = cycles / mips
-            obs.emit_span(
-                f"firmware.tick.{stage}",
-                cursor,
-                cursor + duration,
-                {"cycles": cycles},
+            attrs = {"cycles": cycles}
+            rows.append(
+                (
+                    f"firmware.tick.{stage}",
+                    cycles / mips,
+                    attrs,
+                    tuple(sorted(attrs.items())),
+                    obs.metrics.histogram(
+                        f"firmware.stage.{stage}.cycles", low=1.0, high=1e6
+                    ),
+                    float(cycles),
+                )
             )
-            obs.observe(
-                f"firmware.stage.{stage}.cycles",
-                float(cycles),
-                low=1.0,
-                high=1e6,
-            )
-            cursor += duration
-        obs.end_span(cursor, {"cycles": total})
-        obs.observe("firmware.tick.cycles", float(total), low=1.0, high=1e6)
-        obs.gauge(
-            "firmware.battery.volts",
-            self.board.battery.terminal_voltage(),
-            now,
+        return (
+            rows,
+            {"cycles": total},
+            obs.metrics.histogram("firmware.tick.cycles", low=1.0, high=1e6),
+            float(total),
+            obs.metrics.gauge("firmware.battery.volts"),
         )
 
     def _process_code(self, code: int, now: float) -> None:

@@ -8,6 +8,7 @@ from repro.experiments.fault_sweep import run_fault_sweep
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.firmware_ablation import run_firmware_ablation
+from repro.experiments.fleet import run_fleet
 from repro.experiments.foldback import run_foldback
 from repro.experiments.fusion import run_fusion
 from repro.experiments.gloves_bench import run_gloves_bench, run_stocktaking_by_glove
@@ -36,6 +37,7 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_firmware_ablation",
+    "run_fleet",
     "run_foldback",
     "run_fusion",
     "run_gloves_bench",

@@ -13,6 +13,7 @@ must not silently run the simulated battery flat.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -74,11 +75,29 @@ class Battery:
         """Most recent load current in mA."""
         return self._load_ma
 
+    #: Scalar pure-Python mirror of the curve for the hot path below.
+    _SOC_TUPLE = tuple(float(x) for x in _SOC_POINTS)
+    _OCV_TUPLE = tuple(float(y) for y in _OCV_POINTS)
+
     def open_circuit_voltage(self) -> float:
-        """No-load terminal voltage at the current state of charge."""
-        return float(
-            np.interp(self.state_of_charge, self._SOC_POINTS, self._OCV_POINTS)
-        )
+        """No-load terminal voltage at the current state of charge.
+
+        Bit-identical to ``np.interp(soc, _SOC_POINTS, _OCV_POINTS)``
+        (same segment selection and ``slope * (x - x0) + y0`` op order)
+        without the scalar-ufunc dispatch overhead — this runs once per
+        firmware tick via the brownout check and again per observed tick
+        for the battery gauge.
+        """
+        soc = self.state_of_charge
+        xp, yp = self._SOC_TUPLE, self._OCV_TUPLE
+        if soc <= xp[0]:
+            return yp[0]
+        if soc >= xp[-1]:
+            return yp[-1]
+        j = bisect.bisect_right(xp, soc) - 1
+        x0, x1 = xp[j], xp[j + 1]
+        y0, y1 = yp[j], yp[j + 1]
+        return (y1 - y0) / (x1 - x0) * (soc - x0) + y0
 
     def terminal_voltage(self) -> float:
         """Voltage at the terminals under the present load."""

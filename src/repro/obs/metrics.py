@@ -18,11 +18,12 @@ Determinism rules baked into this module:
 * No instrument ever reads a wall clock — times are always passed in by
   the caller and are sim times (reprolint REP001 applies here like
   everywhere else).
-* Histogram sums accumulate as :class:`fractions.Fraction`.  Python
-  floats are dyadic rationals, so converting each observation to a
-  Fraction and summing is *exact* — which makes
-  :func:`merge_snapshots` genuinely associative **and** commutative,
-  not just approximately so.  The hypothesis property tests in
+* Histogram sums are exact rationals.  Python floats are dyadic
+  rationals, so each observation is an integer over a power of two and
+  the sum accumulates as scaled integers (exposed as a
+  :class:`fractions.Fraction`) — which makes :func:`merge_snapshots`
+  genuinely associative **and** commutative, not just approximately
+  so.  The hypothesis property tests in
   ``tests/test_obs_properties.py`` exercise exactly this.
 * Snapshots are plain JSON-safe dicts with sorted keys, so serializing
   a merged snapshot is byte-identical regardless of shard arrival
@@ -120,9 +121,14 @@ class Histogram:
         "_edges",
         "counts",
         "count",
-        "sum",
+        "_sum_num",
+        "_sum_shift",
         "min",
         "max",
+        "_memo_value",
+        "_memo_bin",
+        "_memo_num",
+        "_memo_k",
     )
 
     def __init__(
@@ -144,7 +150,21 @@ class Histogram:
         # counts[0] is underflow, counts[-1] is overflow.
         self.counts = [0] * (len(self._edges) + 1)
         self.count = 0
-        self.sum = Fraction(0)
+        # Exact sum kept as _sum_num / 2**_sum_shift.  Every finite float
+        # is a dyadic rational, so accumulating the integer numerator at a
+        # common power-of-two scale is exactly the Fraction sum — without
+        # paying Fraction's per-observe gcd normalization on the hot path.
+        self._sum_num = 0
+        self._sum_shift = 0
+        # Single-entry memo of the last observed value's (bin index,
+        # numerator, denominator shift).  Instrumented loops often feed a
+        # histogram the same value every tick (modeled stage costs are
+        # constants), and a repeat cannot change min/max — so the repeat
+        # path skips the NaN check, the bisect and as_integer_ratio.
+        self._memo_value: Optional[float] = None
+        self._memo_bin = 0
+        self._memo_num = 0
+        self._memo_k = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
@@ -156,13 +176,38 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        if math.isnan(value):
-            raise ValueError(f"histogram {self.name!r}: NaN observation")
-        self.counts[bisect.bisect_right(self._edges, value)] += 1
-        self.count += 1
-        self.sum += Fraction(value)
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        if value == self._memo_value:
+            self.counts[self._memo_bin] += 1
+            self.count += 1
+            num, shift = self._memo_num, self._memo_k
+        else:
+            if math.isnan(value):
+                raise ValueError(
+                    f"histogram {self.name!r}: NaN observation"
+                )
+            num, den = value.as_integer_ratio()
+            shift = den.bit_length() - 1
+            index = bisect.bisect_right(self._edges, value)
+            self.counts[index] += 1
+            self.count += 1
+            self._memo_value = value
+            self._memo_bin = index
+            self._memo_num = num
+            self._memo_k = shift
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+        if shift > self._sum_shift:
+            self._sum_num = (
+                self._sum_num << (shift - self._sum_shift)
+            ) + num
+            self._sum_shift = shift
+        else:
+            self._sum_num += num << (self._sum_shift - shift)
+
+    @property
+    def sum(self) -> Fraction:
+        """Exact sum of all observations as a normalized rational."""
+        return Fraction(self._sum_num, 1 << self._sum_shift)
 
     @property
     def mean(self) -> Optional[float]:
@@ -177,6 +222,7 @@ class Histogram:
         The exact sum is carried as an ``[numerator, denominator]``
         integer pair so merged snapshots stay exact through JSON.
         """
+        total = self.sum
         return {
             "type": "histogram",
             "low": self.low,
@@ -184,7 +230,7 @@ class Histogram:
             "bins_per_decade": self.bins_per_decade,
             "counts": list(self.counts),
             "count": self.count,
-            "sum": [self.sum.numerator, self.sum.denominator],
+            "sum": [total.numerator, total.denominator],
             "min": self.min,
             "max": self.max,
         }

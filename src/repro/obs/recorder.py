@@ -39,7 +39,13 @@ from typing import Any, Callable, Iterator, Optional
 from repro.sim import channels
 from repro.sim.trace import Tracer
 
-from .metrics import SNAPSHOT_VERSION, MetricRegistry
+from .metrics import (
+    SNAPSHOT_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
 
 __all__ = [
     "Recorder",
@@ -54,6 +60,9 @@ __all__ = [
 def _clean_attrs(attrs: Optional[dict[str, Any]]) -> dict[str, Any]:
     if not attrs:
         return {}
+    if len(attrs) == 1:
+        # A single-key dict is trivially sorted; skip the sort.
+        return dict(attrs)
     return {key: attrs[key] for key in sorted(attrs)}
 
 
@@ -76,6 +85,15 @@ class Recorder:
         self.spans: list[dict[str, Any]] = []
         self._stack: list[tuple[str, float, dict[str, Any]]] = []
         self._tracer = tracer
+        # Per-kind instrument caches for the name-keyed conveniences
+        # below: the registry's _get does a dict lookup plus an
+        # isinstance kind check, which shows up when a hot loop calls
+        # recorder.counter()/observe() by name every tick.  The caches
+        # skip both once a name has been seen; kind-mismatch errors
+        # still fire on first use because the cache is per kind.
+        self._counter_cache: dict[str, Counter] = {}
+        self._gauge_cache: dict[str, Gauge] = {}
+        self._histogram_cache: dict[str, Histogram] = {}
 
     # -- wiring ---------------------------------------------------------
 
@@ -87,11 +105,19 @@ class Recorder:
 
     def counter(self, name: str, n: int = 1) -> None:
         """Increment the counter ``name`` by ``n``."""
-        self.metrics.counter(name).inc(n)
+        counter = self._counter_cache.get(name)
+        if counter is None:
+            counter = self.metrics.counter(name)
+            self._counter_cache[name] = counter
+        counter.inc(n)
 
     def gauge(self, name: str, value: float, time: float) -> None:
         """Set the gauge ``name`` to ``value`` at sim ``time``."""
-        self.metrics.gauge(name).set(value, time)
+        gauge = self._gauge_cache.get(name)
+        if gauge is None:
+            gauge = self.metrics.gauge(name)
+            self._gauge_cache[name] = gauge
+        gauge.set(value, time)
 
     def observe(
         self,
@@ -101,10 +127,18 @@ class Recorder:
         high: float = 1e3,
         bins_per_decade: int = 3,
     ) -> None:
-        """Record ``value`` into the histogram ``name``."""
-        self.metrics.histogram(
-            name, low=low, high=high, bins_per_decade=bins_per_decade
-        ).observe(value)
+        """Record ``value`` into the histogram ``name``.
+
+        The ``(low, high, bins_per_decade)`` spec applies on first use
+        of ``name`` only, exactly as in the underlying registry.
+        """
+        histogram = self._histogram_cache.get(name)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                name, low=low, high=high, bins_per_decade=bins_per_decade
+            )
+            self._histogram_cache[name] = histogram
+        histogram.observe(value)
 
     # -- spans ----------------------------------------------------------
 
@@ -145,6 +179,42 @@ class Recorder:
             name, float(start), float(end), len(self._stack),
             _clean_attrs(attrs),
         )
+
+    def emit_span_static(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: dict[str, Any],
+        attr_items: tuple[tuple[str, Any], ...],
+    ) -> None:
+        """Like :meth:`emit_span` for precomputed instrumentation plans.
+
+        The caller supplies ``attrs`` already key-sorted plus its
+        ``tuple(sorted(attrs.items()))`` form, and promises never to
+        mutate either — the same objects are stored by reference on
+        every call, skipping the per-span dict copy and sort that
+        :meth:`emit_span` pays.  Output is byte-identical to
+        ``emit_span(name, start, end, attrs)``.
+        """
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends before it starts ({end} < {start})"
+            )
+        depth = len(self._stack)
+        self.spans.append(
+            {
+                "name": name,
+                "start": start,
+                "end": end,
+                "depth": depth,
+                "attrs": attrs,
+            }
+        )
+        if self._tracer is not None:
+            self._tracer.record(
+                channels.SPANS, start, (name, end, depth, attr_items)
+            )
 
     def _finish(
         self,
@@ -258,6 +328,16 @@ class NullRecorder:
         start: float,
         end: float,
         attrs: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """No-op."""
+
+    def emit_span_static(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: dict[str, Any],
+        attr_items: tuple[tuple[str, Any], ...],
     ) -> None:
         """No-op."""
 

@@ -240,6 +240,44 @@ def _device_second_observed(quick: bool) -> Callable[[], int]:
     return workload
 
 
+def _device_second_batched(quick: bool) -> Callable[[], int]:
+    """Device-seconds per wall-second on the structure-of-arrays path.
+
+    Steps a heterogeneous fleet (mixed personas, surfaces, filter
+    windows, fault schedules) through one
+    :class:`repro.core.batch.DeviceBatch` driven by a kernel
+    :class:`~repro.sim.kernel.BatchTask` — the FLEET experiment's hot
+    loop.  Units are device-ticks, directly comparable to
+    ``device-second`` events: the ``batch_speedup`` derived metric is
+    the whole point of the batched engine (ROADMAP item 2).
+
+    The fleet is built once in the factory (construction is island-map
+    bound and amortizes over any real run); each round re-arms the same
+    batch via ``reset()``, which rebuilds every RNG stream and state
+    array so rounds are identical work.
+    """
+    from repro.core.batch import DeviceBatch, derive_device_spec
+    from repro.sim.kernel import BatchTask, Simulator
+
+    n_devices = 256 if quick else 1024
+    seconds = 2.0 if quick else 10.0
+    specs = [
+        derive_device_spec(seed=1, index=i, fault_every=8)
+        for i in range(n_devices)
+    ]
+    batch = DeviceBatch(specs, seed=1)
+
+    def workload() -> int:
+        batch.reset()
+        sim = Simulator(seed=1)
+        task = BatchTask(sim, 1.0 / 50.0, batch.step)
+        sim.run_while(lambda: True, max_time=seconds)
+        task.stop()
+        return sim.batch_units_processed
+
+    return workload
+
+
 def _user_study_throughput(quick: bool) -> Callable[[], int]:
     """Population-study participants per second (``--users`` path).
 
@@ -277,6 +315,7 @@ BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
     "kernel-cancel-churn": (_kernel_cancel_churn, "events"),
     "device-second": (_device_second, "events"),
     "device-second-observed": (_device_second_observed, "events"),
+    "device-second-batched": (_device_second_batched, "device-ticks"),
     "user-study-throughput": (_user_study_throughput, "users"),
 }
 
@@ -349,6 +388,17 @@ def run_benchmarks(
         say(
             "observability enabled: "
             f"{derived['obs_enabled_ratio']:.2f}x null-recorder throughput"
+        )
+    batched = records.get("device-second-batched")
+    if plain and batched and plain.units_per_s > 0:
+        # Device-ticks vs kernel events of the same 50 Hz firmware loop:
+        # how much the SoA engine buys over stepping devices one by one.
+        derived["batch_speedup"] = (
+            batched.units_per_s / plain.units_per_s
+        )
+        say(
+            "batched engine: "
+            f"{derived['batch_speedup']:.1f}x scalar device throughput"
         )
 
     return {

@@ -30,6 +30,13 @@ Sharding strategies
     returns a streaming aggregate; per-user state derives from
     ``(seed, user_index)`` alone, so the shard layout — and therefore
     ``--jobs`` — cannot affect the merged bytes.
+``devicebatch``
+    ``userblocks``-shaped blocks of *device* indices for fleet
+    experiments: each block steps one structure-of-arrays
+    :class:`repro.core.batch.DeviceBatch` under a single kernel batch
+    task, and per-device RNG streams derive from ``(seed,
+    device_index)`` spawn keys — so ``--jobs 1 == --jobs N``
+    byte-identically, block layout included.
 """
 
 from __future__ import annotations
@@ -224,6 +231,27 @@ REGISTRY: Dict[str, ExperimentSpec] = dict(
             "EXT-BREADTH",
             "repro.experiments.breadth:run_breadth",
             params=(("n_tasks", 4), ("n_users", 2)),
+        ),
+        _spec(
+            "FLEET",
+            "repro.experiments.fleet:run_fleet",
+            params=(
+                ("n_devices", 512),
+                ("duration_s", 2.0),
+                ("personas", "full"),
+                ("fault_every", 8),
+            ),
+            sharder="devicebatch",
+            n_users_param="n_devices",
+            user_entry="repro.experiments.fleet:run_device_block",
+            aggregate_entry="repro.experiments.fleet:finalize_fleet",
+            aggregate_params=(
+                "n_devices",
+                "duration_s",
+                "personas",
+                "fault_every",
+            ),
+            users_per_shard=128,
         ),
     )
 )

@@ -14,7 +14,10 @@ children so streams stay decorrelated no matter how many shards exist.
 ``userblocks`` shards carry ``(start, count)`` ranges of participant
 indices; every participant's streams derive from ``(seed, user_index)``
 alone, so neither the block size nor the job count can affect the
-merged aggregate's bytes.
+merged aggregate's bytes.  ``devicebatch`` shards are the same block
+shape over *device* indices — each block steps one
+:class:`repro.core.batch.DeviceBatch` under a single kernel batch task,
+and per-device streams derive from ``(seed, device_index)`` spawn keys.
 """
 
 from __future__ import annotations
@@ -100,7 +103,7 @@ def make_shards(spec: ExperimentSpec, seed: int) -> list[Shard]:
             Shard(spec.experiment_id, i, n_users, payload=user_seed)
             for i, user_seed in enumerate(user_seeds)
         ]
-    if spec.sharder == "userblocks":
+    if spec.sharder in ("userblocks", "devicebatch"):
         n_users = int(dict(spec.params)[spec.n_users_param])
         block = spec.users_per_shard
         starts = list(range(0, n_users, block))
@@ -136,7 +139,7 @@ def _dispatch_shard(spec: ExperimentSpec, seed: int, shard: Shard) -> Any:
             if name != spec.n_users_param
         }
         return resolve_entry(spec.user_entry)(shard.payload, **kwargs)
-    if spec.sharder == "userblocks":
+    if spec.sharder in ("userblocks", "devicebatch"):
         kwargs = {
             name: value
             for name, value in spec.params
@@ -197,7 +200,7 @@ def merge_shard_results(
     scalars so fresh and cache-loaded results are byte-identical.
     """
     ordered = sorted(results, key=lambda r: r.index)
-    if spec.sharder in ("users", "userblocks"):
+    if spec.sharder in ("users", "userblocks", "devicebatch"):
         kwargs = {
             name: value
             for name, value in spec.params

@@ -41,13 +41,21 @@ __all__ = [
     "Simulator",
     "Process",
     "PeriodicTask",
+    "BatchTask",
     "global_events_processed",
+    "global_batch_units_processed",
 ]
 
 #: Process-wide count of executed events across every Simulator instance.
 #: The parallel experiment runner reads this to report events/second per
 #: work unit (and to prove that a cache hit recomputed nothing).
 _global_event_count = 0
+
+#: Process-wide count of batch work units (device-ticks) reported via
+#: :meth:`Simulator.note_batch_units`.  One :class:`BatchTask` event can
+#: advance hundreds of devices; the event count alone would make batched
+#: runs look idle, so throughput reporting adds these units.
+_global_batch_units = 0
 
 #: Heap entries are plain ``(time, priority, seq, event)`` tuples so that
 #: ``heappush``/``heappop`` compare via the C tuple fast path instead of a
@@ -72,6 +80,11 @@ _JITTER_BATCH = 64
 def global_events_processed() -> int:
     """Total events executed by all simulators in this process."""
     return _global_event_count
+
+
+def global_batch_units_processed() -> int:
+    """Total batch work units reported by all simulators in this process."""
+    return _global_batch_units
 
 
 class SimulationError(RuntimeError):
@@ -174,6 +187,10 @@ class Simulator:
                 "kernel.events.dispatched"
             )
             self._obs_recorder = recorder
+        self._batch_units = 0
+        # Created lazily on the first note_batch_units call so that runs
+        # which never batch keep their metric snapshots unchanged.
+        self._obs_batch_units: Optional["Counter"] = None
 
     # ------------------------------------------------------------------
     # clock and RNG
@@ -189,9 +206,38 @@ class Simulator:
         return self._event_count
 
     @property
+    def batch_units_processed(self) -> int:
+        """Device-ticks folded into batch events (see :class:`BatchTask`).
+
+        A batch event dispatches as *one* kernel event but advances many
+        devices; this counter keeps throughput accounting honest by
+        recording the per-device work units alongside ``events_processed``.
+        """
+        return self._batch_units
+
+    @property
     def finished(self) -> bool:
         """Whether :meth:`run` drained the queue (resets on new events)."""
         return self._finished
+
+    def note_batch_units(self, n: int) -> None:
+        """Record ``n`` per-device work units performed by a batch event.
+
+        Called by :class:`BatchTask` after each batched step so benchmarks
+        can report device-seconds per wall-second even though the kernel
+        only saw a single event. The ``kernel.batch.units`` counter is
+        created lazily so observed runs without batching keep byte-identical
+        metric snapshots.
+        """
+        global _global_batch_units
+        self._batch_units += n
+        _global_batch_units += n
+        if self._obs_recorder is not None:
+            if self._obs_batch_units is None:
+                metrics = self._obs_recorder.metrics
+                assert metrics is not None
+                self._obs_batch_units = metrics.counter("kernel.batch.units")
+            self._obs_batch_units.inc(n)
 
     def _spawn_child(self) -> np.random.SeedSequence:
         """Next child seed, served from a pre-spawned pool.
@@ -535,6 +581,79 @@ class PeriodicTask:
         self._callback()
         if self._running:
             self._event = self._sim.schedule(self._next_delay(), self._tick)
+
+
+class BatchTask:
+    """A periodic *batch event*: one kernel event advancing many devices.
+
+    The structure-of-arrays engine (:class:`repro.core.batch.DeviceBatch`)
+    steps N devices in a single call; scheduling one kernel event per device
+    would put the event loop itself back on the hot path. A ``BatchTask``
+    dispatches as a single :class:`Event` per period and reports the
+    per-device work it performed via :meth:`Simulator.note_batch_units`, so
+    ``events_processed`` counts kernel dispatches while
+    ``batch_units_processed`` counts device-ticks.
+
+    Unlike :class:`PeriodicTask` there is no jitter option: the batch engine
+    owns all per-device randomness through its spawn-key streams, and the
+    batch boundary must stay on the exact tick grid for the scalar oracle to
+    replay it.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    period:
+        Seconds between batch steps (must be > 0).
+    step:
+        Called with the current simulated time; returns the number of
+        per-device units processed this step.
+    phase:
+        Delay before the first invocation; defaults to one full period.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        step: Callable[[float], int],
+        phase: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._sim = sim
+        self._period = float(period)
+        self._step = step
+        self._running = True
+        self._event: Optional[Event] = None
+        first = self._period if phase is None else float(phase)
+        self._event = sim.schedule(first, self._tick)
+
+    @property
+    def period(self) -> float:
+        """Nominal period in seconds."""
+        return self._period
+
+    @property
+    def running(self) -> bool:
+        """Whether the task will fire again."""
+        return self._running
+
+    def stop(self) -> None:
+        """Cancel any pending invocation and stop rescheduling."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        units = self._step(self._sim.now)
+        if units:
+            self._sim.note_batch_units(units)
+        if self._running:
+            self._event = self._sim.schedule(self._period, self._tick)
 
 
 def drain(sim: Simulator, events: Iterable[tuple[float, Callable[[], None]]]) -> None:

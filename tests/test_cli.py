@@ -49,6 +49,28 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_users_on_non_study_is_hard_error(self, capsys):
+        """Regression: ignored-flag combos must exit non-zero, not
+        print a warning and run the wrong experiment."""
+        assert main(["run", "FIG4", "--users", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "--users is only meaningful for STUDY1" in err
+        assert "distance_cm" not in capsys.readouterr().out
+
+    def test_personas_without_users_is_hard_error(self, capsys):
+        assert main(["run", "FIG4", "--personas", "full"]) == 2
+        assert "add --users N" in capsys.readouterr().err
+
+    def test_battery_without_users_is_hard_error(self, capsys):
+        assert main(["run", "FIG5", "--battery", "scrolltest"]) == 2
+        assert "add --users N" in capsys.readouterr().err
+
+    def test_run_fleet_registry_entry(self, capsys):
+        assert main(["run", "FLEET"]) == 0
+        out = capsys.readouterr().out
+        assert "FLEET" in out
+        assert "surface" in out
+
     def test_every_registered_runner_is_callable(self):
         """The registry must not contain stale ids (import-time check)."""
         for experiment_id, runner in EXPERIMENT_RUNNERS.items():

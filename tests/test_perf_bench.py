@@ -181,6 +181,24 @@ class TestBenchCLI:
         assert main(["bench", "--only", "nope"]) == 2
         assert "unknown benchmarks" in capsys.readouterr().err
 
+    def test_run_benchmarks_keyerror_never_escapes(
+        self, capsys, monkeypatch
+    ):
+        """Regression: a KeyError from run_benchmarks must become a
+        clean exit 2 listing the valid names, never a raw traceback —
+        even if the CLI's own pre-validation drifts out of sync."""
+        import repro.perf
+
+        def explode(**_kwargs):
+            raise KeyError("unknown benchmarks: ghost")
+
+        monkeypatch.setattr(repro.perf, "run_benchmarks", explode)
+        assert main(["bench", "--only", "island-map"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmarks: ghost" in err
+        assert "valid names" in err
+        assert "island-map" in err
+
     def test_missing_baseline_exits_2(self, tmp_path, capsys):
         code = main([
             "bench", "--quick", "--only", "island-map",
@@ -232,3 +250,8 @@ class TestCommittedBaseline:
         assert (
             report["derived"]["calib_vector_speedup"] >= DEFAULT_MIN_SPEEDUP
         )
+        # Batched-engine acceptance: >= 20x device-seconds/s over the
+        # scalar loop, and observability keeps >= 0.55x of null-recorder
+        # throughput (the hot-path bugfix sweep's floor).
+        assert report["derived"]["batch_speedup"] >= 20.0
+        assert report["derived"]["obs_enabled_ratio"] >= 0.55

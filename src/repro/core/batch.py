@@ -38,7 +38,7 @@ A single interleaved generator per device (what ``GP2D120`` uses) cannot
 be batched across devices, because the *number* of draws one device makes
 per tick is data-dependent (the corruption gate picks uniform vs normal).
 Instead every device owns dedicated streams spawned from
-``SeedSequence(seed, spawn_key=(_BATCH_STREAM, index, purpose))`` — one
+``SeedSequence(seed, spawn_key=(BATCH_STREAM, index, purpose))`` — one
 purpose per draw site (gate / noise / corruption / ADC / glitch).  Each
 stream is then poolable: ``rng.normal(0, σ, size=K)`` is stream-identical
 to K scalar draws (pinned by tests), so the batch engine pre-draws K
@@ -73,6 +73,7 @@ from repro.sensors.surfaces import (
     Surface,
 )
 from repro.signal.filters import MedianFilter
+from repro.sim.streams import BATCH_STREAM
 
 __all__ = [
     "BatchDeviceSpec",
@@ -82,10 +83,6 @@ __all__ = [
     "device_stream",
     "SIGNAL_FAULT_KINDS",
 ]
-
-#: Stream-domain tag separating batch-device streams from the persona
-#: (0x9E37) and trial (0x79B9) domains of repro.interaction.personas.
-_BATCH_STREAM = 0xBA7C
 
 # One sub-stream per independent draw site of the device model.
 _SUB_SPEC = 0  # spec derivation (config, trajectory)
@@ -128,7 +125,7 @@ def device_stream(
 ) -> np.random.Generator:
     """Device ``index``'s dedicated generator for one draw site."""
     sequence = np.random.SeedSequence(
-        entropy=seed, spawn_key=(_BATCH_STREAM, index, purpose)
+        entropy=seed, spawn_key=(BATCH_STREAM, index, purpose)
     )
     return np.random.Generator(np.random.PCG64(sequence))
 

@@ -10,12 +10,39 @@ line attached.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
-from typing import ClassVar, Sequence
+from typing import TYPE_CHECKING, ClassVar, Optional, Sequence
 
 from repro.devtools.findings import Finding, Severity
 
-__all__ = ["LintContext", "Rule", "attribute_chain"]
+if TYPE_CHECKING:
+    from repro.devtools.graph import FileFacts, ProjectGraph
+
+__all__ = [
+    "LintContext",
+    "ProjectRule",
+    "Rule",
+    "attribute_chain",
+    "waiver_reason",
+]
+
+#: Inline escape hatch for the flow rules (REP006–REP008): a trailing
+#: comment ``# reprolint: allow REP00X (reason)`` on the flagged line or
+#: the line directly above.  The reason is mandatory — a bare allow is
+#: ignored, mirroring the baseline's mandatory justifications.
+_WAIVER_RE = re.compile(
+    r"#\s*reprolint:\s*allow\s+(REP\d{3})\b\s*[-—–:(]?\s*(.*?)\)?\s*$"
+)
+
+
+def waiver_reason(line: str, rule_id: str) -> Optional[str]:
+    """The waiver reason on ``line`` for ``rule_id``, if present+justified."""
+    match = _WAIVER_RE.search(line)
+    if match is None or match.group(1) != rule_id:
+        return None
+    reason = match.group(2).strip()
+    return reason or None
 
 
 @dataclass
@@ -28,6 +55,10 @@ class LintContext:
     source: str
     #: Source split into lines (for snippets); computed lazily.
     lines: list[str] = field(default_factory=list)
+    #: Phase-1 project graph (``None`` outside ``lint_project`` runs).
+    project: Optional["ProjectGraph"] = None
+    #: This file's own phase-1 facts (``None`` when ``project`` is).
+    facts: Optional["FileFacts"] = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -59,6 +90,17 @@ class Rule(ast.NodeVisitor):
     exempt_paths: ClassVar[tuple[str, ...]] = ()
     #: Path prefixes (top-level directories) the rule never applies to.
     exempt_prefixes: ClassVar[tuple[str, ...]] = ()
+    #: Why the invariant matters (rendered into docs/LINTING.md).
+    rationale: ClassVar[str] = ""
+    #: A minimal violating snippet (rendered into docs/LINTING.md).
+    example: ClassVar[str] = ""
+    #: The approved escape hatch (rendered into docs/LINTING.md).
+    escape_hatch: ClassVar[str] = (
+        "Baseline the finding in reprolint-baseline.json with a written"
+        " justification."
+    )
+    #: Whether the inline ``# reprolint: allow`` comment is honoured.
+    supports_waiver: ClassVar[bool] = False
 
     def __init__(self, context: LintContext) -> None:
         self.context = context
@@ -100,8 +142,24 @@ class Rule(ast.NodeVisitor):
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def waived(self, node: ast.AST) -> bool:
+        """Whether an inline waiver covers the node (waiver rules only)."""
+        if not self.supports_waiver:
+            return False
+        lineno = getattr(node, "lineno", 0)
+        for candidate in (lineno, lineno - 1):
+            if 1 <= candidate <= len(self.context.lines):
+                reason = waiver_reason(
+                    self.context.lines[candidate - 1], self.rule_id
+                )
+                if reason is not None:
+                    return True
+        return False
+
     def report(self, node: ast.AST, message: str) -> None:
-        """Emit one finding anchored at ``node``."""
+        """Emit one finding anchored at ``node`` (unless waived inline)."""
+        if self.waived(node):
+            return
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         self.findings.append(
@@ -115,6 +173,35 @@ class Rule(ast.NodeVisitor):
                 snippet=self.context.snippet(lineno),
             )
         )
+
+
+class ProjectRule:
+    """A whole-project invariant checker (phase-2, runs once per lint).
+
+    Unlike :class:`Rule`, which is instantiated per file, a project rule
+    sees the complete phase-1 view — the import graph, every file's
+    facts and source — via the engine's
+    :class:`~repro.devtools.engine.ProjectView`.  REP009 (dual-path
+    parity) is the canonical example: it cross-references a registry of
+    scalar↔vectorized pairs against module exports *and* the test tree.
+    """
+
+    rule_id: ClassVar[str] = "REP000"
+    title: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    rationale: ClassVar[str] = ""
+    example: ClassVar[str] = ""
+    escape_hatch: ClassVar[str] = (
+        "Baseline the finding in reprolint-baseline.json with a written"
+        " justification."
+    )
+
+    def run_project(self, view: "ProjectView") -> list[Finding]:
+        raise NotImplementedError
+
+
+if TYPE_CHECKING:
+    from repro.devtools.engine import ProjectView
 
 
 def attribute_chain(node: ast.AST) -> Sequence[str]:

@@ -1,12 +1,19 @@
 """Committed baseline of grandfathered lint findings.
 
-A baseline entry suppresses findings matching ``(rule, path, snippet)``
-— keyed on the stripped source line rather than the line number, so an
-entry survives unrelated edits elsewhere in the file but dies (loudly)
-when the grandfathered line itself changes.  Every entry must carry a
-``justification`` explaining why the violation is intentional; the
-loader rejects entries without one, which keeps "just baseline it" from
-becoming a silent escape hatch.
+A baseline entry suppresses findings matching ``(rule, path, snippet,
+occurrence)`` — keyed on the stripped source line rather than the line
+number, so an entry survives unrelated edits elsewhere in the file but
+dies (loudly) when the grandfathered line itself changes.  The
+``occurrence`` index (0-based, assigned in line order by the engine)
+disambiguates several identical lines in one file, so matching is
+always one-to-one: baselining the first ``time.perf_counter()`` read in
+a file does not silently grandfather a second one added later.  Entries
+omit the field when it is zero, which keeps pre-occurrence baseline
+files both readable and byte-stable.
+
+Every entry must carry a ``justification`` explaining why the violation
+is intentional; the loader rejects entries without one, which keeps
+"just baseline it" from becoming a silent escape hatch.
 """
 
 from __future__ import annotations
@@ -31,9 +38,10 @@ class BaselineEntry:
     path: str
     snippet: str
     justification: str
+    occurrence: int = 0
 
-    def key(self) -> tuple[str, str, str]:
-        return (self.rule, self.path, self.snippet)
+    def key(self) -> tuple[str, str, str, int]:
+        return (self.rule, self.path, self.snippet, self.occurrence)
 
 
 class Baseline:
@@ -64,6 +72,15 @@ class Baseline:
         seen = {f.key() for f in findings}
         return [e for e in self.entries if e.key() not in seen]
 
+    def without(
+        self, stale: Sequence[BaselineEntry]
+    ) -> "Baseline":
+        """Copy with the given (stale) entries dropped."""
+        drop = {entry.key() for entry in stale}
+        return Baseline(
+            [entry for entry in self.entries if entry.key() not in drop]
+        )
+
     # ------------------------------------------------------------------
     # IO
     # ------------------------------------------------------------------
@@ -89,12 +106,18 @@ class Baseline:
                     " empty justification — every grandfathered finding"
                     " must say why it is intentional"
                 )
+            occurrence = int(raw.get("occurrence", 0))
+            if occurrence < 0:
+                raise ValueError(
+                    f"{path}: entry {i} has a negative occurrence index"
+                )
             entries.append(
                 BaselineEntry(
                     rule=str(raw["rule"]),
                     path=str(raw["path"]),
                     snippet=str(raw["snippet"]),
                     justification=str(raw["justification"]),
+                    occurrence=occurrence,
                 )
             )
         return cls(entries)
@@ -108,18 +131,18 @@ class Baseline:
 
     def save(self, path: Path) -> None:
         """Write the baseline (sorted, trailing newline, stable bytes)."""
-        payload = {
-            "version": _FORMAT_VERSION,
-            "entries": [
-                {
-                    "rule": e.rule,
-                    "path": e.path,
-                    "snippet": e.snippet,
-                    "justification": e.justification,
-                }
-                for e in sorted(self.entries, key=lambda e: e.key())
-            ],
-        }
+        serialized = []
+        for entry in sorted(self.entries, key=lambda e: e.key()):
+            raw: dict[str, object] = {
+                "rule": entry.rule,
+                "path": entry.path,
+                "snippet": entry.snippet,
+                "justification": entry.justification,
+            }
+            if entry.occurrence:
+                raw["occurrence"] = entry.occurrence
+            serialized.append(raw)
+        payload = {"version": _FORMAT_VERSION, "entries": serialized}
         Path(path).write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
@@ -136,7 +159,7 @@ class Baseline:
         Justifications from ``previous`` are preserved for entries that
         still match, so regenerating never erases the written rationale.
         """
-        kept: dict[tuple[str, str, str], BaselineEntry] = {}
+        kept: dict[tuple[str, str, str, int], BaselineEntry] = {}
         if previous is not None:
             kept = {e.key(): e for e in previous.entries}
         entries = []
@@ -151,9 +174,11 @@ class Baseline:
                         path=finding.path,
                         snippet=finding.snippet,
                         justification=justification,
+                        occurrence=finding.occurrence,
                     )
                 )
-        # de-duplicate identical keys (several findings can share a line)
+        # de-duplicate identical keys (defensive; occurrence indices
+        # already make engine output unique)
         unique = {e.key(): e for e in entries}
         return cls(sorted(unique.values(), key=lambda e: e.key()))
 

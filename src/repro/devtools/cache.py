@@ -1,0 +1,130 @@
+"""Content-addressed incremental cache for the lint engine.
+
+Same discipline as the runner's result cache (PR 2): everything is
+keyed on content digests, never on timestamps, so a cache hit is a
+*proof* of equivalence, not a heuristic.  Two stores live in one JSON
+file:
+
+* ``facts`` — phase-1 :class:`~repro.devtools.graph.FileFacts` keyed on
+  the file's source digest (path + text).  Facts are a pure function of
+  the source, so this key is complete.
+* ``findings`` — phase-2 per-file findings keyed on
+  ``H(engine version, rule ids, file digest, import-closure digest,
+  global digest)``.  The closure digest covers everything the file's
+  flow rules can see through imports; the global digest covers the
+  cross-cutting facts (every spawn site's resolution + the stream
+  registry), so e.g. adding a colliding spawn site in *another* module
+  correctly invalidates this module's cached findings.
+
+Only entries touched during the current run are persisted, so the cache
+never grows beyond the live tree (dead digests from old edits are
+dropped on every save).  A corrupt or version-skewed cache file is
+treated as empty, never as an error — the cache must only ever make
+linting faster, not change its result.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.devtools.findings import Finding
+from repro.devtools.graph import FileFacts
+
+__all__ = ["LintCache"]
+
+_CACHE_FORMAT = 2
+
+
+class LintCache:
+    """On-disk facts + findings store for incremental lint runs."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "reprolint-cache.json"
+        self._facts: dict[str, dict[str, object]] = {}
+        self._findings: dict[str, list[dict[str, object]]] = {}
+        self._touched_facts: set[str] = set()
+        self._touched_findings: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("version") != _CACHE_FORMAT:
+            return
+        facts = data.get("facts")
+        findings = data.get("findings")
+        if isinstance(facts, dict):
+            self._facts = facts
+        if isinstance(findings, dict):
+            self._findings = findings
+
+    # ------------------------------------------------------------------
+    # facts store
+    # ------------------------------------------------------------------
+    def facts_for(self, digest: str) -> Optional[FileFacts]:
+        raw = self._facts.get(digest)
+        if raw is None:
+            return None
+        try:
+            facts = FileFacts.from_json(raw)
+        except (KeyError, TypeError, ValueError, AssertionError):
+            return None
+        self._touched_facts.add(digest)
+        return facts
+
+    def store_facts(self, digest: str, facts: FileFacts) -> None:
+        self._facts[digest] = facts.to_json()
+        self._touched_facts.add(digest)
+
+    # ------------------------------------------------------------------
+    # findings store
+    # ------------------------------------------------------------------
+    def findings_for(self, key: str) -> Optional[list[Finding]]:
+        raw = self._findings.get(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(entry) for entry in raw]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self._touched_findings.add(key)
+        self.hits += 1
+        return findings
+
+    def store_findings(self, key: str, findings: list[Finding]) -> None:
+        self._findings[key] = [finding.to_dict() for finding in findings]
+        self._touched_findings.add(key)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Persist the entries touched this run (untouched ones die)."""
+        payload = {
+            "version": _CACHE_FORMAT,
+            "facts": {
+                digest: self._facts[digest]
+                for digest in sorted(self._touched_facts)
+                if digest in self._facts
+            },
+            "findings": {
+                key: self._findings[key]
+                for key in sorted(self._touched_findings)
+                if key in self._findings
+            },
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        tmp.replace(self.path)

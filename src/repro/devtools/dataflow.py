@@ -1,0 +1,243 @@
+"""Lightweight intra-procedural dataflow helpers for flow-aware rules.
+
+This is deliberately *not* a real dataflow framework: the flow rules
+(REP006 data-dependent draw counts, REP008 set-iteration tracking) only
+need to answer "what expression was this local name last assigned
+from?" within one function body, plus a handful of syntactic predicates
+("is this expression an RNG draw?", "is this expression a set?").  A
+single linear pass over assignment statements is enough for the
+conventions this tree actually uses, keeps the pass O(nodes), and —
+critically for the incremental cache — stays a pure function of the
+file's own AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping, Optional
+
+__all__ = [
+    "FunctionFlow",
+    "assignment_map",
+    "is_rng_draw",
+    "is_set_expression",
+    "iter_function_defs",
+    "names_in",
+]
+
+#: Receiver names treated as RNG generator objects.  Matching is by
+#: suffix so ``self._rng``, ``trial_rng`` and plain ``rng`` all count.
+_RNG_RECEIVER_SUFFIXES = ("rng", "generator", "random")
+
+#: Generator methods that consume bits from the stream.  Non-drawing
+#: methods (``spawn``, ``bit_generator``) are deliberately absent.
+_DRAW_METHODS = frozenset(
+    {
+        "random",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "lognormal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "triangular",
+        "bytes",
+    }
+)
+
+
+def iter_function_defs(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in the tree, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def assignment_map(
+    function: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+) -> dict[str, ast.expr]:
+    """Last-assignment map of simple local names in one scope.
+
+    Walks the scope's statements in source order (including nested
+    blocks, excluding nested function/class bodies) and records, for
+    each ``name = <expr>`` with a single :class:`ast.Name` target, the
+    final right-hand side.  Loops and branches are not joined — for the
+    "did this come from a set constructor / an RNG draw" questions the
+    rules ask, the last textual binding is the right approximation.
+    """
+    bindings: dict[str, ast.expr] = {}
+
+    def walk_block(statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                if statement.value is not None:
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            bindings[target.id] = statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                if statement.value is not None and isinstance(
+                    statement.target, ast.Name
+                ):
+                    bindings[statement.target.id] = statement.value
+            elif isinstance(statement, ast.AugAssign):
+                if isinstance(statement.target, ast.Name):
+                    # An augmented assignment keeps the original source
+                    # kind (``s |= other`` is still a set) — keep the
+                    # prior binding if any, else record the RHS.
+                    bindings.setdefault(statement.target.id, statement.value)
+            elif isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue  # separate scope
+            # Recurse into compound statements' blocks.
+            for field in ("body", "orelse", "finalbody"):
+                nested = getattr(statement, field, None)
+                if isinstance(nested, list) and not isinstance(
+                    statement,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    walk_block(nested)
+            handlers = getattr(statement, "handlers", None)
+            if isinstance(handlers, list):
+                for handler in handlers:
+                    walk_block(handler.body)
+            cases = getattr(statement, "cases", None)
+            if isinstance(cases, list):
+                for case in cases:
+                    walk_block(case.body)
+
+    walk_block(list(function.body))
+    return bindings
+
+
+class FunctionFlow:
+    """Assignment-chain view over one function body."""
+
+    def __init__(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module
+    ) -> None:
+        self.bindings = assignment_map(function)
+
+    def resolve(self, name: str, max_hops: int = 4) -> Optional[ast.expr]:
+        """Follow ``a = b`` chains to the defining expression, if local."""
+        seen: set[str] = set()
+        current: Optional[ast.expr] = self.bindings.get(name)
+        hops = 0
+        while (
+            isinstance(current, ast.Name)
+            and current.id not in seen
+            and hops < max_hops
+        ):
+            seen.add(current.id)
+            current = self.bindings.get(current.id)
+            hops += 1
+        return current
+
+
+def names_in(node: ast.AST) -> frozenset[str]:
+    """All plain identifiers read anywhere inside ``node``."""
+    return frozenset(
+        child.id for child in ast.walk(node) if isinstance(child, ast.Name)
+    )
+
+
+def _receiver_is_rng(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        base = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        base = node.attr.lower()
+    else:
+        return False
+    return any(base.endswith(suffix) for suffix in _RNG_RECEIVER_SUFFIXES)
+
+
+def is_rng_draw(node: ast.AST) -> bool:
+    """Whether the expression consumes bits from an RNG stream.
+
+    Matches ``<rng-ish>.<draw-method>(...)`` calls — ``rng.random()``,
+    ``self._rng.normal(...)``, ``trial_rng.integers(...)`` — possibly
+    wrapped in a call (``float(rng.random())``) or a binary expression.
+    """
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in _DRAW_METHODS
+            and _receiver_is_rng(child.func.value)
+        ):
+            return True
+    return False
+
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def is_set_expression(
+    node: Optional[ast.expr],
+    flow: Optional[FunctionFlow] = None,
+    module_symbols: Optional[Mapping[str, ast.expr]] = None,
+    _depth: int = 0,
+) -> bool:
+    """Whether the expression is (syntactically) an unordered set.
+
+    Recognises set literals, set comprehensions, ``set()`` /
+    ``frozenset()`` calls, set-algebra ``BinOp``\\ s whose either side is
+    a set, set-returning methods (``a.union(b)`` where ``a`` is a set),
+    and names whose local (or module-level) assignment chain resolves to
+    one of the above.  Dicts are deliberately out of scope: CPython dict
+    iteration is insertion-ordered, which the tree's determinism
+    contract relies on.
+    """
+    if node is None or _depth > 6:
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _SET_CONSTRUCTORS
+        ):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+        ):
+            return is_set_expression(
+                node.func.value, flow, module_symbols, _depth + 1
+            )
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return is_set_expression(
+            node.left, flow, module_symbols, _depth + 1
+        ) or is_set_expression(node.right, flow, module_symbols, _depth + 1)
+    if isinstance(node, ast.IfExp):
+        return is_set_expression(
+            node.body, flow, module_symbols, _depth + 1
+        ) or is_set_expression(node.orelse, flow, module_symbols, _depth + 1)
+    if isinstance(node, ast.Name):
+        resolved: Optional[ast.expr] = None
+        if flow is not None:
+            resolved = flow.resolve(node.id)
+        if resolved is None and module_symbols is not None:
+            resolved = module_symbols.get(node.id)
+        if resolved is not None and not (
+            isinstance(resolved, ast.Name) and resolved.id == node.id
+        ):
+            return is_set_expression(
+                resolved, flow, module_symbols, _depth + 1
+            )
+    return False

@@ -1,0 +1,220 @@
+"""``repro lint --fix``: mechanical rewrites for the fixable subset.
+
+Two finding classes have a rewrite that is provably safe from syntax
+alone, so the linter can apply it instead of just complaining:
+
+* **REP008** — wrap the hash-ordered iterable in ``sorted(...)``.  The
+  rewrite shares its detection logic with the rule
+  (:func:`~repro.devtools.rules.iterorder.set_iteration_sites`), so
+  fixer and rule can never disagree about what is flagged; inline
+  waivers are respected.
+* **REP002** — rewrite legacy ``np.random.<fn>(...)`` calls to
+  ``np.random.default_rng(0).<method>(...)``.  Only call shapes whose
+  Generator equivalent takes the same arguments are rewritten
+  (``randint``'s exclusive upper bound matches ``integers``;
+  ``rand``/``randn`` only with at most one positional argument, since
+  their legacy multi-argument shape form has no same-shape
+  equivalent).  The injected seed is the constant ``0`` — a reviewed
+  starting point, not a policy; the point of the rewrite is to move
+  the call onto an explicit stream so the seed *can* be threaded.
+
+Fixes are applied as text edits located by AST positions, rightmost
+first, so earlier edits never shift later spans.  Running the fixer on
+already-fixed output is a no-op (``sorted(...)`` is not a set
+expression; ``default_rng`` is not a legacy attribute), which makes
+``--fix`` byte-stable — the CI fixture test pins this.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.devtools.base import waiver_reason
+from repro.devtools.rules.iterorder import set_iteration_sites
+
+__all__ = ["FixResult", "apply_fixes", "fix_tree"]
+
+#: Legacy ``numpy.random`` functions with an argument-compatible
+#: ``Generator`` method.  ``None`` constraints mean any call shape.
+_GENERATOR_EQUIVALENT: dict[str, str] = {
+    "random": "random",
+    "random_sample": "random",
+    "ranf": "random",
+    "sample": "random",
+    "rand": "random",
+    "randn": "standard_normal",
+    "randint": "integers",
+    "uniform": "uniform",
+    "normal": "normal",
+    "standard_normal": "standard_normal",
+    "choice": "choice",
+    "shuffle": "shuffle",
+    "permutation": "permutation",
+    "poisson": "poisson",
+    "exponential": "exponential",
+    "binomial": "binomial",
+    "beta": "beta",
+    "gamma": "gamma",
+    "lognormal": "lognormal",
+    "bytes": "bytes",
+}
+
+#: Legacy functions whose multi-positional shape form has no
+#: same-arguments Generator equivalent: fix only with <= 1 positional.
+_SHAPE_STYLE = frozenset({"rand", "randn"})
+
+
+@dataclass
+class FixResult:
+    """What one fixer run changed."""
+
+    fixes: int = 0
+    files_changed: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _Edit:
+    start: int
+    end: int
+    replacement: str
+    #: Logical-fix id: a sorted() wrap is two edits sharing one group.
+    group: int = 0
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span(
+    offsets: list[int], node: ast.expr
+) -> Optional[tuple[int, int]]:
+    if node.end_lineno is None or node.end_col_offset is None:
+        return None
+    start = offsets[node.lineno - 1] + node.col_offset
+    end = offsets[node.end_lineno - 1] + node.end_col_offset
+    return start, end
+
+
+def _waived(lines: list[str], lineno: int, rule_id: str) -> bool:
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(lines):
+            if waiver_reason(lines[candidate - 1], rule_id) is not None:
+                return True
+    return False
+
+
+def _rep008_edits(
+    tree: ast.Module,
+    offsets: list[int],
+    lines: list[str],
+    group_start: int,
+) -> list[_Edit]:
+    edits = []
+    group = group_start
+    for anchor, iterable in set_iteration_sites(tree):
+        if _waived(lines, getattr(anchor, "lineno", 0), "REP008"):
+            continue
+        span = _span(offsets, iterable)
+        if span is None:
+            continue
+        start, end = span
+        group += 1
+        edits.append(_Edit(start, start, "sorted(", group))
+        edits.append(_Edit(end, end, ")", group))
+    return edits
+
+
+def _rep002_edits(
+    tree: ast.Module, offsets: list[int], group_start: int
+) -> list[_Edit]:
+    edits = []
+    group = group_start
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+        ):
+            continue
+        legacy = func.attr
+        method = _GENERATOR_EQUIVALENT.get(legacy)
+        if method is None:
+            continue
+        if legacy in _SHAPE_STYLE and (len(node.args) > 1 or node.keywords):
+            continue
+        span = _span(offsets, func)
+        if span is None:
+            continue
+        base = func.value.value.id
+        group += 1
+        edits.append(
+            _Edit(
+                span[0],
+                span[1],
+                f"{base}.random.default_rng(0).{method}",
+                group,
+            )
+        )
+    return edits
+
+
+def apply_fixes(source: str, path: str) -> tuple[str, int]:
+    """Apply all mechanical fixes to one source text.
+
+    Returns ``(new_source, fix_count)``; the input is returned
+    unchanged (count 0) when nothing is fixable or the file does not
+    parse.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, 0
+    offsets = _line_offsets(source)
+    lines = source.splitlines()
+    wrap_edits = _rep008_edits(tree, offsets, lines, group_start=0)
+    rewrite_edits = _rep002_edits(
+        tree, offsets, group_start=len(wrap_edits)
+    )
+    edits = wrap_edits + rewrite_edits
+    if not edits:
+        return source, 0
+    # Rightmost-first application; drop overlapping spans defensively
+    # (insertions at identical offsets keep their relative order).
+    edits.sort(key=lambda e: (e.start, e.end), reverse=True)
+    result = source
+    last_start: Optional[int] = None
+    applied_groups: set[int] = set()
+    for edit in edits:
+        if last_start is not None and edit.end > last_start:
+            continue
+        result = result[: edit.start] + edit.replacement + result[edit.end :]
+        last_start = edit.start
+        applied_groups.add(edit.group)
+    return result, len(applied_groups)
+
+
+def fix_tree(root: Path, rel_paths: list[str]) -> FixResult:
+    """Apply fixes to files under ``root``; returns what changed."""
+    result = FixResult()
+    for rel_path in sorted(set(rel_paths)):
+        file_path = Path(root) / rel_path
+        if not file_path.is_file():
+            continue
+        source = file_path.read_text(encoding="utf-8")
+        fixed, count = apply_fixes(source, rel_path)
+        if fixed != source:
+            file_path.write_text(fixed, encoding="utf-8")
+            result.fixes += count
+            result.files_changed.append(rel_path)
+    return result

@@ -1,10 +1,12 @@
 """Rendering a lint run: terminal text and machine-readable JSON.
 
 The JSON schema is part of the tool's contract (CI and editor tooling
-parse it) and is pinned by ``tests/test_reprolint.py``::
+parse it) and is pinned by ``tests/test_reprolint.py``.  Version 2
+added the ``occurrence`` field to findings (the baseline
+disambiguation index)::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "reprolint",
       "root": "<linted root>",
       "rules": ["REP001", ...],
@@ -22,7 +24,7 @@ from repro.devtools.findings import Finding
 
 __all__ = ["format_text", "format_json", "REPORT_VERSION"]
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 def _counts(findings: Sequence[Finding]) -> dict[str, int]:

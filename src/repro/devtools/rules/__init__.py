@@ -7,33 +7,61 @@ REP003   trace-channel literals must exist in ``repro.sim.channels``
 REP004   sim-time discipline: no float-equality on times, no
          negative scheduling delays
 REP005   optional hardware fault hooks are null-checked before call
+REP006   SeedSequence spawn-key domains come from the
+         ``sim/streams`` registry, no cross-module collisions, no
+         data-dependent draw counts
+REP007   float sums route through exact accumulators; fast-path
+         pow stays per-element
+REP008   set iteration goes through ``sorted()`` on
+         result-producing paths
+REP009   scalar↔vectorized pair registry: both halves exist, are
+         exported, and share a bit-equality test (project rule)
 =======  ==========================================================
 
-Adding a rule: subclass :class:`repro.devtools.base.Rule` in a new
-module here, set ``rule_id``/``title``/exemptions, implement the
+Adding a per-file rule: subclass :class:`repro.devtools.base.Rule` in a
+new module here, set ``rule_id``/``title``/exemptions + the
+``rationale``/``example``/``escape_hatch`` docs metadata, implement the
 ``visit_*`` methods, and append the class to :data:`ALL_RULES`.
+Whole-project checks subclass
+:class:`repro.devtools.base.ProjectRule` and register in
+:data:`PROJECT_RULES` instead.
 """
 
 from repro.devtools.rules.channels import TraceChannelRegistryRule
+from repro.devtools.rules.floatdet import FloatDeterminismRule
 from repro.devtools.rules.hooks import FaultHookGuardRule
+from repro.devtools.rules.iterorder import IterationOrderRule
+from repro.devtools.rules.parity import DualPathParityRule
 from repro.devtools.rules.rng import SeededRngOnlyRule
+from repro.devtools.rules.rngstreams import RngStreamCollisionRule
 from repro.devtools.rules.simtime import SimTimeDisciplineRule
 from repro.devtools.rules.wallclock import NoWallClockRule
 
 __all__ = [
     "ALL_RULES",
+    "PROJECT_RULES",
+    "DualPathParityRule",
     "FaultHookGuardRule",
+    "FloatDeterminismRule",
+    "IterationOrderRule",
     "NoWallClockRule",
+    "RngStreamCollisionRule",
     "SeededRngOnlyRule",
     "SimTimeDisciplineRule",
     "TraceChannelRegistryRule",
 ]
 
-#: Every shipped rule, in id order.
+#: Every shipped per-file rule, in id order.
 ALL_RULES = (
     NoWallClockRule,
     SeededRngOnlyRule,
     TraceChannelRegistryRule,
     SimTimeDisciplineRule,
     FaultHookGuardRule,
+    RngStreamCollisionRule,
+    FloatDeterminismRule,
+    IterationOrderRule,
 )
+
+#: Every shipped whole-project rule, in id order.
+PROJECT_RULES = (DualPathParityRule,)

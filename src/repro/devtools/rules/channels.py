@@ -36,6 +36,19 @@ class TraceChannelRegistryRule(Rule):
 
     rule_id = "REP003"
     title = "trace-channel literals must be declared in repro.sim.channels"
+    rationale = (
+        "Trace channels are part of the golden-file contract: an"
+        " undeclared channel string is either a typo (events silently"
+        " dropped by consumers) or an unreviewed extension of the trace"
+        " schema.  The registry in `repro/sim/channels.py` is the single"
+        " source of truth."
+    )
+    example = 'tracer.record("event", payload)  # typo of "events"'
+    escape_hatch = (
+        "Declare the channel as a constant in `repro/sim/channels.py`"
+        " (and update consumers); test-only channels are baselined with a"
+        " justification."
+    )
 
     #: Override for tests (None -> load from ``repro.sim.channels``).
     known_channels: ClassVar[Optional[FrozenSet[str]]] = None

@@ -87,6 +87,19 @@ class FaultHookGuardRule(Rule):
 
     rule_id = "REP005"
     title = "optional fault hooks must be null-checked before calling"
+    rationale = (
+        "Fault-injection hooks are optional seams threaded through the"
+        " hardware models (PR 1): calling one unguarded crashes every"
+        " non-fault run with an `AttributeError` on `None`, and the crash"
+        " only reproduces when the hook is absent — the exact inverse of"
+        " the configuration being tested."
+    )
+    example = "self._fault_hook.on_sample(value)  # hook may be None"
+    escape_hatch = (
+        "Guard with `if self._fault_hook is not None:` (or an early"
+        " return); call sites where the hook is provably always set are"
+        " baselined with a justification."
+    )
 
     def visit_Call(self, node: ast.Call) -> None:
         if _is_hook_expr(node.func) and not self._guarded(node):

@@ -58,6 +58,20 @@ class SeededRngOnlyRule(Rule):
     rule_id = "REP002"
     title = "randomness must flow from a passed-in Generator/SeedSequence"
     exempt_prefixes = ("benchmarks",)
+    rationale = (
+        "stdlib `random` and legacy `numpy.random` globals are"
+        " process-wide state: one call anywhere couples unrelated"
+        " experiments' streams and makes `--jobs N` results depend on"
+        " worker scheduling.  Every draw must descend from an explicit"
+        " seed via a passed-in `numpy.random.Generator`."
+    )
+    example = "values = np.random.rand(32)  # legacy global stream"
+    escape_hatch = (
+        "`repro lint --fix` rewrites mechanical cases to"
+        " `np.random.default_rng(0).<method>(...)` (review the seed!);"
+        " benchmark code under benchmarks/ is exempt; anything else is"
+        " baselined with a justification."
+    )
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:

@@ -78,6 +78,19 @@ class SimTimeDisciplineRule(Rule):
 
     rule_id = "REP004"
     title = "no == / != on sim times; no negative scheduling delays"
+    rationale = (
+        "Sim times are floats accumulated through different code paths:"
+        " exact equality comparisons work until a refactor reorders one"
+        " addition, then fail only on some inputs.  Negative scheduling"
+        " delays silently reorder the event queue.  Both are classic"
+        " sources of 'deterministic but wrong' traces."
+    )
+    example = "if event.time == deadline:  # float equality on sim time"
+    escape_hatch = (
+        "Compare with explicit tolerances or ordering (`<=`), and"
+        " validate delays at the call site; deliberate exact comparisons"
+        " (e.g. against a sentinel) are baselined with a justification."
+    )
 
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]

@@ -48,6 +48,18 @@ class NoWallClockRule(Rule):
     title = "no wall-clock reads outside benchmark/runner timing code"
     exempt_paths = ("runner/pool.py",)
     exempt_prefixes = ("benchmarks",)
+    rationale = (
+        "Simulated behaviour must depend only on sim time: a"
+        " `time.time()`/`perf_counter()` read inside the simulation stack"
+        " makes results vary run-to-run and machine-to-machine, breaking"
+        " the byte-identical determinism contract."
+    )
+    example = "started = time.perf_counter()  # inside core/device.py"
+    escape_hatch = (
+        "Telemetry that genuinely measures wall time (runner/bench"
+        " plumbing) is baselined in reprolint-baseline.json with a"
+        " justification; benchmark code under benchmarks/ is exempt."
+    )
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "time":

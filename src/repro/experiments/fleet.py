@@ -132,6 +132,7 @@ def finalize_fleet(
     for surface in sorted(by_surface):
         result.add_row(surface, *by_surface[surface])
     faulted = sum(1 for row in rows if row[9] > 0)
+    # reprolint: allow REP007 (row[10] is an integer tick count — integer sums are exact)
     ticks = sum(row[10] for row in rows)
     result.note(
         f"{faulted}/{n_devices} devices ran scheduled fault windows "

@@ -69,6 +69,7 @@ def run_fusion(
             continue
         fused = float(np.mean([r.distance_cm for r in valid]))
         error = abs(fused - float(true))
+        # reprolint: allow REP007 (sums booleans — an exact integer majority count)
         in_fold = sum(r.in_foldback for r in valid) > len(valid) / 2
         result.add_row(float(true), fused, error, "yes" if in_fold else "no")
         if true > floor + 0.5:

@@ -270,8 +270,11 @@ class StudyAggregate:
             self.seg_time_sketch[index].add(outcome.block_times[index])
         if cell is not None:
             self.cell_users.add(cell)
-            user_error = sum(outcome.block_errors) / len(self.segments)
-            user_time = sum(outcome.block_times) / len(self.segments)
+            # Fixed-order per-user sums over one outcome's block lists:
+            # the summation order is pinned by the segment order, and the
+            # per-cell means they feed go through StreamingMoments.
+            user_error = sum(outcome.block_errors) / len(self.segments)  # reprolint: allow REP007 (fixed segment order, single user)
+            user_time = sum(outcome.block_times) / len(self.segments)  # reprolint: allow REP007 (fixed segment order, single user)
             self.cell_errors.setdefault(cell, StreamingMoments()).add(
                 user_error
             )

@@ -93,6 +93,7 @@ class EventLogger:
         """Mean RF link latency over all received events (0 if none)."""
         if not self.events:
             return 0.0
+        # reprolint: allow REP007 (host-side diagnostic mean over the arrival-ordered event list of one process — never merged across shards)
         return sum(le.link_latency for le in self.events) / len(self.events)
 
     def clear(self) -> None:

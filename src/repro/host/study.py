@@ -128,11 +128,11 @@ class StudyController:
             "n_tasks": len(self.scores),
             "n_completed": len(completed),
             "mean_task_s": (
-                sum(s.duration_s for s in completed) / len(completed)
+                sum(s.duration_s for s in completed) / len(completed)  # reprolint: allow REP007 (host-side summary in task-administration order, single process)
                 if completed
                 else 0.0
             ),
-            "total_wrong_activations": sum(
+            "total_wrong_activations": sum(  # reprolint: allow REP007 (integer count of wrong activations — exact)
                 s.wrong_activations for s in self.scores
             ),
             "rf_events": len(self.logger.events),

@@ -30,6 +30,11 @@ import numpy as np
 from repro.interaction.gloves import DEFAULT_GLOVE_WEIGHTS, Glove, resolve_glove
 from repro.interaction.user import MotorProfile
 
+# Stream-domain tags keeping the persona draw and the trial noise of
+# one participant on decorrelated SeedSequence branches; declared in the
+# project-wide spawn-key registry (values pinned by golden persona JSON).
+from repro.sim.streams import PERSONA_STREAM, TRIAL_STREAM
+
 __all__ = [
     "Persona",
     "PersonaSpec",
@@ -39,11 +44,6 @@ __all__ = [
     "sample_personas",
     "PERSONA_DIMENSIONS",
 ]
-
-#: Stream-domain tags keeping the persona draw and the trial noise of
-#: one participant on decorrelated SeedSequence branches.
-_PERSONA_STREAM = 0x9E37
-_TRIAL_STREAM = 0x79B9
 
 #: ``dimension -> (value -> (weight, MotorProfile field multipliers))``.
 #: Declaration order is the draw order, so adding a value at the end of
@@ -314,12 +314,12 @@ def persona_for_user(
     """Participant ``user_index``'s persona, O(1) and shard-independent.
 
     The persona stream is spawned from ``(population_seed,
-    (_PERSONA_STREAM, user_index))`` so any worker can derive any
+    (PERSONA_STREAM, user_index))`` so any worker can derive any
     participant without coordination, and the population is byte-
     identical for every ``--jobs`` value.
     """
     sequence = np.random.SeedSequence(
-        entropy=population_seed, spawn_key=(_PERSONA_STREAM, user_index)
+        entropy=population_seed, spawn_key=(PERSONA_STREAM, user_index)
     )
     rng = np.random.Generator(np.random.PCG64(sequence))
     age_band = _weighted_draw(rng, spec.age_band)
@@ -341,7 +341,7 @@ def persona_for_user(
 def user_rng(population_seed: int, user_index: int) -> np.random.Generator:
     """Participant ``user_index``'s private trial-noise stream."""
     sequence = np.random.SeedSequence(
-        entropy=population_seed, spawn_key=(_TRIAL_STREAM, user_index)
+        entropy=population_seed, spawn_key=(TRIAL_STREAM, user_index)
     )
     return np.random.Generator(np.random.PCG64(sequence))
 

@@ -70,6 +70,7 @@ class PowerLawFit:
 
     def voltage(self, distance_cm: np.ndarray | float) -> np.ndarray | float:
         """Predicted voltage at the given distance(s)."""
+        # reprolint: allow REP007 (calibration-time curve evaluation with no scalar twin — there is no oracle for SIMD pow to diverge from)
         return self.k * np.asarray(distance_cm, dtype=float) ** self.p
 
 

@@ -1,0 +1,15 @@
+"""``--fix`` fixture: one REP008 and one REP002 mechanical fix.
+
+``repro lint --fix`` must leave this tree re-linting clean, and a
+second ``--fix`` run must be byte-stable (no further edits).
+"""
+
+import numpy as np
+
+
+def mixed_channels(names: list[str]) -> list[str]:
+    return list({name.lower() for name in names})
+
+
+def jitter() -> float:
+    return float(np.random.normal(0.0, 1.0))

@@ -1,0 +1,12 @@
+"""REP006 fixture: a bare-literal spawn-key domain (exactly one finding).
+
+The spawn key's first element is an inline integer instead of a
+constant declared in ``repro/sim/streams.py``.
+"""
+
+import numpy as np
+
+
+def make_stream(seed: int, index: int) -> np.random.Generator:
+    sequence = np.random.SeedSequence(seed, spawn_key=(0x1234, index))
+    return np.random.Generator(np.random.PCG64(sequence))

@@ -1,0 +1,9 @@
+"""REP007 fixture: an order-dependent float sum (exactly one finding).
+
+A result-producing module (``experiments/``) summing floats with the
+builtin ``sum()`` instead of the exact accumulators.
+"""
+
+
+def mean_latency(samples: list[float]) -> float:
+    return sum(samples) / len(samples)

@@ -1,0 +1,8 @@
+"""REP008 fixture: hash-ordered set iteration (exactly one finding)."""
+
+
+def channel_rows() -> list[str]:
+    rows = []
+    for name in {"events", "faults", "spans"}:
+        rows.append(name)
+    return rows

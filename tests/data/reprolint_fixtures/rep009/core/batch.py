@@ -1,0 +1,15 @@
+"""REP009 fixture: a dual-path pair with its vector half missing.
+
+The parity registry pins ``ScalarDeviceEngine`` ↔ ``DeviceBatch`` in
+``core/batch.py``; this tree defines only the scalar half, so REP009
+must report exactly one missing-path finding.
+"""
+
+__all__ = ["ScalarDeviceEngine"]
+
+
+class ScalarDeviceEngine:
+    """Scalar oracle stub (the batched twin has gone missing)."""
+
+    def step(self, now: float) -> float:
+        return now

@@ -545,7 +545,7 @@ class TestReport:
         payload = json.loads(
             format_json(findings, engine.rule_ids(), "src/repro")
         )
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["tool"] == "reprolint"
         assert payload["root"] == "src/repro"
         assert payload["rules"] == [
@@ -554,6 +554,10 @@ class TestReport:
             "REP003",
             "REP004",
             "REP005",
+            "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
         ]
         assert payload["counts"] == {
             "total": 1,
@@ -570,6 +574,7 @@ class TestReport:
             "message",
             "snippet",
             "suppressed",
+            "occurrence",
         }
         assert finding["rule"] == "REP002"
         assert finding["path"] == "sim/x.py"

@@ -1,0 +1,1090 @@
+"""Tests for the reprolint v2 project-wide engine.
+
+Covers the phase-1 import/symbol graph, the intra-procedural dataflow
+helpers, the flow-aware rules REP006–REP009, the content-addressed
+incremental cache, the ``--fix`` autofixer, the new CLI surface
+(``--changed``, ``--fix``, ``--prune-baseline``, ``--cache-dir``), the
+seeded CI fixture trees, and hypothesis properties pinning engine
+determinism across repeated runs, shuffled phase-2 selection order, and
+warm-versus-cold cache state.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import tempfile
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.devtools import LintCache, LintEngine
+from repro.devtools.baseline import Baseline
+from repro.devtools.dataflow import (
+    FunctionFlow,
+    is_rng_draw,
+    is_set_expression,
+)
+from repro.devtools.fixer import apply_fixes, fix_tree
+from repro.devtools.graph import (
+    ProjectGraph,
+    extract_facts,
+    resolve_spawn_sites,
+    stream_registry,
+)
+from repro.devtools.rules import ALL_RULES, PROJECT_RULES
+from repro.devtools.rules.floatdet import FloatDeterminismRule
+from repro.devtools.rules.iterorder import (
+    IterationOrderRule,
+    set_iteration_sites,
+)
+from repro.devtools.rules.parity import DualPathParityRule, ParityPair
+from repro.devtools.rules.rngstreams import RngStreamCollisionRule
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "data" / "reprolint_fixtures"
+
+REGISTRY_SOURCE = """\
+PERSONA_STREAM = 0x9E37
+TRIAL_STREAM = 0x79B9
+"""
+
+
+def facts_for(path: str, source: str):
+    source = textwrap.dedent(source)
+    return extract_facts(path, source, ast.parse(source))
+
+
+def graph_of(**files: str) -> ProjectGraph:
+    return ProjectGraph(
+        [facts_for(path.replace("__", "/") + ".py", src) for path, src in files.items()]
+    )
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def lint(source: str, path: str = "sim/example.py", rules=None):
+    engine = LintEngine(rules, project_rules=())
+    return engine.lint_source(textwrap.dedent(source), path)
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# phase 1: facts extraction
+# ---------------------------------------------------------------------------
+class TestFactsExtraction:
+    def test_captures_imports_symbols_and_exports(self):
+        facts = facts_for(
+            "sim/demo.py",
+            """
+            import numpy as np
+            from repro.sim.streams import PERSONA_STREAM as STREAM
+
+            __all__ = ["Engine", "LIMIT"]
+
+            LIMIT = 42
+
+
+            class Engine:
+                def step(self):
+                    return LIMIT
+            """,
+        )
+        assert facts.parts == ("sim", "demo")
+        modules = {record.module for record in facts.imports}
+        assert "numpy" in modules
+        assert "repro.sim.streams" in modules
+        assert facts.exports == ("Engine", "LIMIT")
+        assert facts.symbols["LIMIT"].value == 42
+        assert "Engine" in facts.symbols
+        assert "Engine.step" in facts.symbols
+
+    def test_spawn_sites_classified(self):
+        facts = facts_for(
+            "sim/demo.py",
+            """
+            import numpy as np
+
+            DOMAIN = 0x10
+
+
+            def spawn(seed, index):
+                a = np.random.SeedSequence(seed, spawn_key=(0x99, index))
+                b = np.random.SeedSequence(seed, spawn_key=(DOMAIN, index))
+                c = np.random.SeedSequence(seed, spawn_key=key_of(index))
+                return a, b, c
+            """,
+        )
+        kinds = sorted(site.domain_kind for site in facts.spawn_sites)
+        assert kinds == ["literal", "name", "opaque"]
+
+    def test_facts_roundtrip_json(self):
+        facts = facts_for(
+            "sim/demo.py",
+            """
+            import numpy as np
+
+            X = 1
+
+            def f(seed):
+                return np.random.SeedSequence(seed, spawn_key=(X, 0))
+            """,
+        )
+        clone = type(facts).from_json(facts.to_json())
+        assert clone == facts
+
+
+# ---------------------------------------------------------------------------
+# phase 1: project graph
+# ---------------------------------------------------------------------------
+class TestProjectGraph:
+    def test_resolve_module_by_suffix(self):
+        graph = graph_of(sim__streams=REGISTRY_SOURCE)
+        facts = graph.resolve_module("repro.sim.streams")
+        assert facts is not None and facts.path == "sim/streams.py"
+        assert graph.resolve_module("sim.streams") is facts
+        assert graph.resolve_module("numpy") is None
+
+    def test_resolve_constant_across_modules(self):
+        graph = graph_of(
+            sim__streams=REGISTRY_SOURCE,
+            interaction__personas="""
+            from repro.sim.streams import PERSONA_STREAM
+            """,
+        )
+        facts = graph.files["interaction/personas.py"]
+        resolved = graph.resolve_constant(facts, "PERSONA_STREAM")
+        assert resolved is not None
+        assert resolved.symbol.value == 0x9E37
+        assert resolved.path == "sim/streams.py"
+
+    def test_resolve_constant_follows_alias(self):
+        graph = graph_of(
+            sim__streams=REGISTRY_SOURCE,
+            core__batch="""
+            from repro.sim.streams import TRIAL_STREAM as LOCAL_STREAM
+            """,
+        )
+        facts = graph.files["core/batch.py"]
+        resolved = graph.resolve_constant(facts, "LOCAL_STREAM")
+        assert resolved is not None and resolved.symbol.value == 0x79B9
+
+    def test_import_closure_is_transitive(self):
+        graph = graph_of(
+            a="X = 1",
+            b="from repro.a import X",
+            c="from repro.b import X",
+        )
+        closure = graph.import_closure("c.py")
+        assert {"a.py", "b.py", "c.py"} <= set(closure)
+
+    def test_closure_digest_changes_with_dependency(self):
+        before = graph_of(a="X = 1", b="from repro.a import X")
+        after = graph_of(a="X = 2", b="from repro.a import X")
+        assert before.closure_digest("b.py") != after.closure_digest("b.py")
+        # An unrelated file's digest is unaffected.
+        lone_before = graph_of(a="X = 1", b="from repro.a import X", c="Y = 0")
+        lone_after = graph_of(a="X = 2", b="from repro.a import X", c="Y = 0")
+        assert lone_before.closure_digest("c.py") == lone_after.closure_digest(
+            "c.py"
+        )
+
+    def test_dependents_include_importers(self):
+        graph = graph_of(
+            a="X = 1",
+            b="from repro.a import X",
+            c="Y = 2",
+        )
+        dependents = graph.dependents_of(["a.py"])
+        assert "a.py" in dependents
+        assert "b.py" in dependents
+        assert "c.py" not in dependents
+
+
+# ---------------------------------------------------------------------------
+# phase 1: spawn-site resolution
+# ---------------------------------------------------------------------------
+class TestSpawnResolution:
+    def _graph(self, user_source: str) -> ProjectGraph:
+        return graph_of(sim__streams=REGISTRY_SOURCE, sim__user=user_source)
+
+    def test_registry_collected(self):
+        graph = self._graph("X = 1")
+        registry = stream_registry(graph)
+        assert registry == {0x9E37: "PERSONA_STREAM", 0x79B9: "TRIAL_STREAM"}
+
+    def test_registered_import_is_ok(self):
+        graph = self._graph(
+            """
+            import numpy as np
+            from repro.sim.streams import PERSONA_STREAM
+
+            def f(seed):
+                return np.random.SeedSequence(seed, spawn_key=(PERSONA_STREAM, 0))
+            """
+        )
+        (site,) = [
+            s for s in resolve_spawn_sites(graph) if s.path == "sim/user.py"
+        ]
+        assert site.status == "ok"
+        assert site.value == 0x9E37
+
+    def test_literal_and_unregistered(self):
+        graph = self._graph(
+            """
+            import numpy as np
+
+            ROGUE = 0x123
+
+            def f(seed):
+                a = np.random.SeedSequence(seed, spawn_key=(0x77, 0))
+                b = np.random.SeedSequence(seed, spawn_key=(ROGUE, 0))
+                return a, b
+            """
+        )
+        statuses = sorted(
+            s.status for s in resolve_spawn_sites(graph) if s.path == "sim/user.py"
+        )
+        assert statuses == ["literal", "unregistered"]
+
+    def test_shadowed_registry_value(self):
+        graph = self._graph(
+            """
+            import numpy as np
+
+            PERSONA_STREAM = 0x9E37  # local copy, not the registry symbol
+
+            def f(seed):
+                return np.random.SeedSequence(seed, spawn_key=(PERSONA_STREAM, 0))
+            """
+        )
+        (site,) = [
+            s for s in resolve_spawn_sites(graph) if s.path == "sim/user.py"
+        ]
+        assert site.status == "shadow"
+
+
+# ---------------------------------------------------------------------------
+# dataflow helpers
+# ---------------------------------------------------------------------------
+class TestDataflow:
+    def _flow(self, body: str) -> FunctionFlow:
+        tree = ast.parse(textwrap.dedent(body))
+        function = tree.body[0]
+        assert isinstance(function, ast.FunctionDef)
+        return FunctionFlow(function)
+
+    def test_resolve_follows_chain(self):
+        flow = self._flow(
+            """
+            def f():
+                a = {1, 2}
+                b = a
+                c = b
+                return c
+            """
+        )
+        resolved = flow.resolve("c")
+        assert isinstance(resolved, ast.Set)
+
+    def test_is_set_expression_positive_forms(self):
+        flow = self._flow(
+            """
+            def f(x):
+                base = set(x)
+                return base
+            """
+        )
+        cases = [
+            "{1, 2}",
+            "set(x)",
+            "frozenset(x)",
+            "{v for v in x}",
+            "a | b if is_set_operand else {1}",
+        ]
+        assert is_set_expression(ast.parse("{1} | other").body[0].value)
+        for code in cases[:4]:
+            node = ast.parse(code, mode="eval").body
+            assert is_set_expression(node), code
+        assert is_set_expression(ast.parse("base", mode="eval").body, flow)
+        assert is_set_expression(
+            ast.parse("base.union(other)", mode="eval").body, flow
+        )
+
+    def test_is_set_expression_negative_forms(self):
+        for code in ["[1, 2]", "{1: 2}", "sorted(x)", "x.keys()", "f(x)"]:
+            node = ast.parse(code, mode="eval").body
+            assert not is_set_expression(node), code
+
+    def test_is_rng_draw(self):
+        assert is_rng_draw(ast.parse("rng.random()", mode="eval").body)
+        assert is_rng_draw(
+            ast.parse("float(self._rng.normal(0, 1))", mode="eval").body
+        )
+        assert not is_rng_draw(ast.parse("rng.spawn(3)", mode="eval").body)
+        assert not is_rng_draw(ast.parse("math.sqrt(x)", mode="eval").body)
+
+
+# ---------------------------------------------------------------------------
+# REP006 — rng stream collisions
+# ---------------------------------------------------------------------------
+class TestRngStreamCollision:
+    def _lint_tree(self, tmp_path: Path, files: dict[str, str]):
+        write_tree(tmp_path, files)
+        engine = LintEngine([RngStreamCollisionRule], project_rules=())
+        return engine.lint_project(tmp_path, tests_root=tmp_path / "no-tests").findings
+
+    def test_literal_domain_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(seed):
+                return np.random.SeedSequence(seed, spawn_key=(0x1234, 0))
+            """,
+            rules=[RngStreamCollisionRule],
+        )
+        assert rule_ids(findings) == ["REP006"]
+        assert "literal" in findings[0].message
+
+    def test_registered_constant_clean(self, tmp_path):
+        findings = self._lint_tree(
+            tmp_path,
+            {
+                "sim/streams.py": REGISTRY_SOURCE,
+                "sim/user.py": textwrap.dedent(
+                    """
+                    import numpy as np
+                    from repro.sim.streams import PERSONA_STREAM
+
+                    def f(seed, i):
+                        return np.random.SeedSequence(seed, spawn_key=(PERSONA_STREAM, i))
+                    """
+                ),
+            },
+        )
+        assert findings == []
+
+    def test_cross_module_collision_flagged(self, tmp_path):
+        user = """
+            import numpy as np
+            from repro.sim.streams import PERSONA_STREAM
+
+            def f(seed, i):
+                return np.random.SeedSequence(seed, spawn_key=(PERSONA_STREAM, i))
+            """
+        findings = self._lint_tree(
+            tmp_path,
+            {
+                "sim/streams.py": REGISTRY_SOURCE,
+                "sim/user_a.py": textwrap.dedent(user),
+                "sim/user_b.py": textwrap.dedent(user),
+            },
+        )
+        assert len(findings) == 2  # one per colliding module
+        assert all("also spawned in" in f.message for f in findings)
+
+    def test_registry_duplicate_values_flagged(self, tmp_path):
+        findings = self._lint_tree(
+            tmp_path,
+            {
+                "sim/streams.py": "A_STREAM = 0x10\nB_STREAM = 0x10\n",
+            },
+        )
+        assert rule_ids(findings) == ["REP006"]
+        assert "pairwise distinct" in findings[0].message
+
+    def test_data_dependent_draw_count_flagged(self):
+        findings = lint(
+            """
+            def rejection_sample(rng):
+                value = rng.random()
+                while value > 0.5:
+                    value = rng.random()
+                return value
+            """,
+            rules=[RngStreamCollisionRule],
+        )
+        assert rule_ids(findings) == ["REP006"]
+        assert "data-dependent" in findings[0].message
+
+    def test_bounded_loop_clean(self):
+        findings = lint(
+            """
+            def per_sample(rng, n):
+                out = []
+                for _ in range(n):
+                    out.append(rng.random())
+                return out
+            """,
+            rules=[RngStreamCollisionRule],
+        )
+        assert findings == []
+
+    def test_waiver_suppresses(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(seed):
+                # reprolint: allow REP006 (one-off fixture stream, never merged)
+                return np.random.SeedSequence(seed, spawn_key=(0x1234, 0))
+            """,
+            rules=[RngStreamCollisionRule],
+        )
+        assert findings == []
+
+    def test_waiver_requires_reason(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(seed):
+                # reprolint: allow REP006
+                return np.random.SeedSequence(seed, spawn_key=(0x1234, 0))
+            """,
+            rules=[RngStreamCollisionRule],
+        )
+        assert rule_ids(findings) == ["REP006"]
+
+
+# ---------------------------------------------------------------------------
+# REP007 — float determinism
+# ---------------------------------------------------------------------------
+class TestFloatDeterminism:
+    def test_float_sum_in_experiments_flagged(self):
+        findings = lint(
+            "def f(xs):\n    return sum(xs)\n",
+            path="experiments/report.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert rule_ids(findings) == ["REP007"]
+
+    def test_counting_sum_clean(self):
+        findings = lint(
+            "def f(xs):\n    return sum(1 for x in xs if x > 0)\n",
+            path="experiments/report.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert findings == []
+
+    def test_len_sum_clean(self):
+        findings = lint(
+            "def f(rows):\n    return sum(len(r) for r in rows)\n",
+            path="host/report.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert findings == []
+
+    def test_exact_accumulator_module_exempt(self):
+        findings = lint(
+            "def f(xs):\n    return sum(xs)\n",
+            path="analysis/stats.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert findings == []
+
+    def test_out_of_scope_path_clean(self):
+        findings = lint(
+            "def f(xs):\n    return sum(xs)\n",
+            path="obs/export.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert findings == []
+
+    def test_numpy_pow_in_sensors_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(v):
+                return np.asarray(v) ** 1.3
+            """,
+            path="sensors/model.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert rule_ids(findings) == ["REP007"]
+
+    def test_np_power_call_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(v):
+                return np.power(v, 1.3)
+            """,
+            path="signal/filters.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert rule_ids(findings) == ["REP007"]
+
+    def test_scalar_pow_clean(self):
+        findings = lint(
+            "def f(x):\n    return x ** 2\n",
+            path="sensors/model.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert findings == []
+
+    def test_waiver_on_same_line(self):
+        findings = lint(
+            "def f(rows):\n"
+            "    return sum(r[1] for r in rows)"
+            "  # reprolint: allow REP007 (integer tick counts)\n",
+            path="experiments/report.py",
+            rules=[FloatDeterminismRule],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# REP008 — iteration order
+# ---------------------------------------------------------------------------
+class TestIterationOrder:
+    def test_for_over_set_literal_flagged(self):
+        findings = lint(
+            "def f():\n    for x in {1, 2, 3}:\n        print(x)\n",
+            rules=[IterationOrderRule],
+        )
+        assert rule_ids(findings) == ["REP008"]
+
+    def test_sorted_wrap_clean(self):
+        findings = lint(
+            "def f():\n    for x in sorted({1, 2, 3}):\n        print(x)\n",
+            rules=[IterationOrderRule],
+        )
+        assert findings == []
+
+    def test_list_of_set_flagged(self):
+        findings = lint(
+            "def f(xs):\n    return list({x for x in xs})\n",
+            rules=[IterationOrderRule],
+        )
+        assert rule_ids(findings) == ["REP008"]
+
+    def test_comprehension_over_set_variable_flagged(self):
+        findings = lint(
+            """
+            def f(xs):
+                seen = set(xs)
+                return [x + 1 for x in seen]
+            """,
+            rules=[IterationOrderRule],
+        )
+        assert rule_ids(findings) == ["REP008"]
+
+    def test_genexp_absorbed_by_sorted_clean(self):
+        findings = lint(
+            "def f(kinds):\n"
+            '    return ", ".join(sorted(k.name for k in set(kinds)))\n',
+            rules=[IterationOrderRule],
+        )
+        assert findings == []
+
+    def test_set_comprehension_from_set_clean(self):
+        findings = lint(
+            "def f(xs):\n    return {x.lower() for x in set(xs)}\n",
+            rules=[IterationOrderRule],
+        )
+        assert findings == []
+
+    def test_dict_iteration_clean(self):
+        findings = lint(
+            "def f(d):\n    for k in d:\n        print(k)\n",
+            rules=[IterationOrderRule],
+        )
+        assert findings == []
+
+    def test_set_iteration_sites_shared_helper(self):
+        tree = ast.parse("for x in {1, 2}:\n    pass\n")
+        sites = set_iteration_sites(tree)
+        assert len(sites) == 1
+        _, iterable = sites[0]
+        assert isinstance(iterable, ast.Set)
+
+
+# ---------------------------------------------------------------------------
+# REP009 — dual-path parity (project rule)
+# ---------------------------------------------------------------------------
+class _OnePair(DualPathParityRule):
+    pairs = (ParityPair("mod/impl.py", "scalar_fn", "vector_fn"),)
+
+
+GOOD_IMPL = """
+__all__ = ["scalar_fn", "vector_fn"]
+
+
+def scalar_fn(x):
+    return x
+
+
+def vector_fn(xs):
+    return xs
+"""
+
+GOOD_TEST = """
+from repro.mod.impl import scalar_fn, vector_fn
+
+
+def test_parity():
+    assert scalar_fn(1) == vector_fn([1])[0]
+"""
+
+
+class TestDualPathParity:
+    def _findings(self, tmp_path, impl: str, test: str | None = GOOD_TEST):
+        files = {"mod/impl.py": impl}
+        if test is not None:
+            files["tests/test_parity.py"] = test
+        write_tree(tmp_path, files)
+        engine = LintEngine((), project_rules=[_OnePair])
+        return engine.lint_project(tmp_path, tests_root=tmp_path / "tests").findings
+
+    def test_intact_pair_clean(self, tmp_path):
+        assert self._findings(tmp_path, GOOD_IMPL) == []
+
+    def test_missing_vector_half_flagged(self, tmp_path):
+        impl = GOOD_IMPL.replace("def vector_fn(xs):\n    return xs\n", "")
+        impl = impl.replace('__all__ = ["scalar_fn", "vector_fn"]',
+                            '__all__ = ["scalar_fn"]')
+        (finding,) = self._findings(tmp_path, impl)
+        assert finding.rule == "REP009"
+        assert "vector_fn" in finding.message
+
+    def test_unexported_pair_flagged(self, tmp_path):
+        impl = GOOD_IMPL.replace(
+            '__all__ = ["scalar_fn", "vector_fn"]', '__all__ = ["scalar_fn"]'
+        )
+        (finding,) = self._findings(tmp_path, impl)
+        assert finding.rule == "REP009"
+        assert "export" in finding.message
+
+    def test_missing_test_reference_flagged(self, tmp_path):
+        lame_test = GOOD_TEST.replace("vector_fn", "scalar_fn")
+        (finding,) = self._findings(tmp_path, GOOD_IMPL, lame_test)
+        assert finding.rule == "REP009"
+        assert "test" in finding.message
+
+    def test_module_absent_skips(self, tmp_path):
+        write_tree(tmp_path, {"other/file.py": "X = 1\n"})
+        engine = LintEngine((), project_rules=[_OnePair])
+        result = engine.lint_project(tmp_path, tests_root=tmp_path / "tests")
+        assert result.findings == []
+
+    def test_real_tree_registry_pairs_hold(self):
+        engine = LintEngine((), project_rules=list(PROJECT_RULES))
+        src_root = REPO_ROOT / "src" / "repro"
+        findings = engine.lint_project(src_root).findings
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# incremental cache
+# ---------------------------------------------------------------------------
+TREE_WITH_FINDINGS = {
+    "sim/streams.py": REGISTRY_SOURCE,
+    "sim/user.py": """
+        import numpy as np
+        from repro.sim.streams import PERSONA_STREAM
+
+        def f(seed, i):
+            return np.random.SeedSequence(seed, spawn_key=(PERSONA_STREAM, i))
+        """,
+    "experiments/report.py": """
+        def mean(xs):
+            return sum(xs) / len(xs)
+        """,
+}
+
+
+class TestLintCache:
+    def test_warm_run_hits_and_matches_cold(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", TREE_WITH_FINDINGS)
+        cache_dir = tmp_path / "cache"
+        engine = LintEngine()
+        cold_cache = LintCache(cache_dir)
+        cold = engine.lint_project(tree, cache=cold_cache)
+        cold_cache.save()
+        assert cold.stats.cache_hits == 0
+
+        warm_cache = LintCache(cache_dir)
+        warm = engine.lint_project(tree, cache=warm_cache)
+        assert warm.stats.cache_hits == warm.stats.linted
+        assert warm.stats.parsed == 0
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_editing_dependency_invalidates_importers(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", TREE_WITH_FINDINGS)
+        cache_dir = tmp_path / "cache"
+        engine = LintEngine()
+        cache = LintCache(cache_dir)
+        engine.lint_project(tree, cache=cache)
+        cache.save()
+
+        # Append a new registry constant: sim/user.py's import closure
+        # changed, so its cached findings must be recomputed.
+        streams = tree / "sim" / "streams.py"
+        streams.write_text(
+            streams.read_text(encoding="utf-8") + "EXTRA_STREAM = 0x5AD\n",
+            encoding="utf-8",
+        )
+        warm_cache = LintCache(cache_dir)
+        warm = engine.lint_project(tree, cache=warm_cache)
+        assert warm.stats.cache_hits < warm.stats.linted
+
+    def test_corrupt_cache_treated_as_empty(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", TREE_WITH_FINDINGS)
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "reprolint-cache.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        engine = LintEngine()
+        result = engine.lint_project(tree, cache=LintCache(cache_dir))
+        assert result.stats.cache_hits == 0
+        assert result.findings  # the REP007 sum is still found
+
+    def test_rule_set_change_invalidates(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", TREE_WITH_FINDINGS)
+        cache_dir = tmp_path / "cache"
+        full = LintEngine()
+        cache = LintCache(cache_dir)
+        full.lint_project(tree, cache=cache)
+        cache.save()
+        narrow = LintEngine([FloatDeterminismRule], project_rules=())
+        warm = narrow.lint_project(tree, cache=LintCache(cache_dir))
+        assert warm.stats.cache_hits == 0
+
+    def test_changed_selection_expands_to_dependents(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", TREE_WITH_FINDINGS)
+        engine = LintEngine()
+        selection = engine.changed_selection(tree, ["sim/streams.py"])
+        assert "sim/streams.py" in selection
+        assert "sim/user.py" in selection
+        assert "experiments/report.py" not in selection
+
+
+# ---------------------------------------------------------------------------
+# seeded CI fixtures
+# ---------------------------------------------------------------------------
+class TestSeededFixtures:
+    @pytest.mark.parametrize(
+        "name, rule",
+        [
+            ("rep006", "REP006"),
+            ("rep007", "REP007"),
+            ("rep008", "REP008"),
+            ("rep009", "REP009"),
+        ],
+    )
+    def test_fixture_yields_exactly_one_finding(self, name, rule):
+        root = FIXTURES / name
+        engine = LintEngine()
+        findings = engine.lint_project(root).findings
+        matching = [f for f in findings if f.rule == rule]
+        assert len(matching) == 1, [f.to_dict() for f in findings]
+
+    @pytest.mark.parametrize(
+        "name, rule",
+        [
+            ("rep006", "REP006"),
+            ("rep007", "REP007"),
+            ("rep008", "REP008"),
+            ("rep009", "REP009"),
+        ],
+    )
+    def test_fixture_via_cli_rules_filter(self, name, rule, capsys):
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(FIXTURES / name),
+                "--rules",
+                rule,
+                "--no-baseline",
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert [f["rule"] for f in payload["findings"]] == [rule]
+
+
+# ---------------------------------------------------------------------------
+# --fix autofixer
+# ---------------------------------------------------------------------------
+class TestFixer:
+    def test_rep008_sorted_insertion(self):
+        source = "for x in {3, 1, 2}:\n    print(x)\n"
+        fixed, count = apply_fixes(source, "sim/x.py")
+        assert count == 1
+        assert "in sorted({3, 1, 2})" in fixed
+        compile(fixed, "sim/x.py", "exec")
+
+    def test_rep002_generator_rewrite(self):
+        source = "import numpy as np\nv = np.random.normal(0.0, 1.0)\n"
+        fixed, count = apply_fixes(source, "sim/x.py")
+        assert count == 1
+        assert "np.random.default_rng(0).normal(0.0, 1.0)" in fixed
+
+    def test_randint_becomes_integers(self):
+        source = "import numpy as np\nv = np.random.randint(0, 10)\n"
+        fixed, _ = apply_fixes(source, "sim/x.py")
+        assert "default_rng(0).integers(0, 10)" in fixed
+
+    def test_shape_style_rand_left_alone(self):
+        # Legacy rand(d0, d1) has no argument-compatible Generator
+        # equivalent — must NOT be rewritten mechanically.
+        source = "import numpy as np\nv = np.random.rand(3, 4)\n"
+        fixed, count = apply_fixes(source, "sim/x.py")
+        assert count == 0
+        assert fixed == source
+
+    def test_waived_line_not_fixed(self):
+        source = (
+            "# reprolint: allow REP008 (tiny fixed set, output unordered)\n"
+            "for x in {1, 2}:\n    print(x)\n"
+        )
+        fixed, count = apply_fixes(source, "sim/x.py")
+        assert count == 0
+        assert fixed == source
+
+    def test_fix_is_idempotent_and_relints_clean(self):
+        source = (FIXTURES / "fixable" / "tools" / "mixer.py").read_text(
+            encoding="utf-8"
+        )
+        once, count = apply_fixes(source, "tools/mixer.py")
+        assert count == 2
+        twice, second_count = apply_fixes(once, "tools/mixer.py")
+        assert second_count == 0
+        assert twice == once
+        engine = LintEngine()
+        assert engine.lint_source(once, "tools/mixer.py") == []
+
+    def test_fix_tree_counts_files(self, tmp_path):
+        shutil.copytree(FIXTURES / "fixable", tmp_path / "tree")
+        result = fix_tree(tmp_path / "tree", ["tools/mixer.py"])
+        assert result.fixes == 2
+        assert result.files_changed == ["tools/mixer.py"]
+
+
+# ---------------------------------------------------------------------------
+# CLI v2 surface
+# ---------------------------------------------------------------------------
+class TestCliV2:
+    def test_unknown_rule_id_exits_2_listing_valid(self, capsys):
+        code = main(["lint", "--rules", "REP999"])
+        captured = capsys.readouterr()
+        assert code == 2
+        for rid in ("REP001", "REP006", "REP009"):
+            assert rid in captured.err
+
+    def test_empty_rules_exits_2(self, capsys):
+        code = main(["lint", "--rules", ","])
+        assert code == 2
+        assert "no rule ids" in capsys.readouterr().err
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        tree = write_tree(tmp_path / "tree", TREE_WITH_FINDINGS)
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "lint",
+            "--root",
+            str(tree),
+            "--no-baseline",
+            "--cache-dir",
+            str(cache_dir),
+            "--verbose",
+        ]
+        assert main(argv) == 1
+        first = capsys.readouterr().out
+        assert "0 cache hit(s)" in first
+        assert main(argv) == 1
+        second = capsys.readouterr().out
+        assert "0 cache hit(s)" not in second
+
+    def test_fix_flag_fixes_tree(self, tmp_path, capsys):
+        shutil.copytree(FIXTURES / "fixable", tmp_path / "tree")
+        code = main(
+            ["lint", "--root", str(tmp_path / "tree"), "--no-baseline", "--fix"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied 2 fix(es)" in out
+        # Second --fix run: nothing left to do, files byte-stable.
+        before = (tmp_path / "tree" / "tools" / "mixer.py").read_bytes()
+        code = main(
+            ["lint", "--root", str(tmp_path / "tree"), "--no-baseline", "--fix"]
+        )
+        assert code == 0
+        assert (tmp_path / "tree" / "tools" / "mixer.py").read_bytes() == before
+
+    def test_prune_baseline_drops_stale_entries(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path / "tree",
+            {"experiments/report.py": "def f(xs):\n    return sum(xs)\n"},
+        )
+        engine = LintEngine()
+        findings = engine.lint_project(tree).findings
+        baseline_path = tree / "reprolint-baseline.json"
+        Baseline.from_findings(findings, justification="transitional").save(
+            baseline_path
+        )
+        # Fix the violation: the baseline entry goes stale.
+        (tree / "experiments" / "report.py").write_text(
+            "def f(xs):\n    return len(xs)\n", encoding="utf-8"
+        )
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(tree),
+                "--baseline",
+                str(baseline_path),
+                "--prune-baseline",
+            ]
+        )
+        assert code == 0
+        pruned = Baseline.load(baseline_path)
+        assert len(pruned.entries) == 0
+
+    def test_prune_requires_full_run(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path / "tree", {"sim/x.py": "X = 1\n"}
+        )
+        baseline_path = tree / "reprolint-baseline.json"
+        Baseline.from_findings([], justification="x").save(baseline_path)
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(tree),
+                "--baseline",
+                str(baseline_path),
+                "--rules",
+                "REP007",
+                "--prune-baseline",
+            ]
+        )
+        assert code == 2
+
+    def test_warm_lint_of_real_tree_is_fast(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["lint", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        start = time.perf_counter()
+        assert main(argv) == 0
+        elapsed = time.perf_counter() - start
+        capsys.readouterr()
+        assert elapsed < 5.0, f"warm lint took {elapsed:.2f}s"
+
+
+# ---------------------------------------------------------------------------
+# determinism properties
+# ---------------------------------------------------------------------------
+FIXTURE_FILES = {
+    "sim/streams.py": REGISTRY_SOURCE,
+    "sim/user.py": TREE_WITH_FINDINGS["sim/user.py"],
+    "experiments/report.py": TREE_WITH_FINDINGS["experiments/report.py"],
+    "obs/export.py": (FIXTURES / "rep008" / "obs" / "export.py").read_text(
+        encoding="utf-8"
+    ),
+    "tools/mixer.py": (
+        FIXTURES / "fixable" / "tools" / "mixer.py"
+    ).read_text(encoding="utf-8"),
+}
+
+
+def _payload(findings) -> list[dict]:
+    return [f.to_dict() for f in findings]
+
+
+class TestEngineDeterminism:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        subset=st.sets(
+            st.sampled_from(sorted(FIXTURE_FILES)), min_size=1, max_size=5
+        ),
+        data=st.data(),
+    )
+    def test_findings_pure_function_of_tree(self, subset, data):
+        """Repeated runs, shuffled selection order, and warm-vs-cold
+        cache state all produce byte-identical findings."""
+        tmp = Path(tempfile.mkdtemp(prefix="reprolint-prop-"))
+        try:
+            tree = write_tree(
+                tmp / "tree", {k: FIXTURE_FILES[k] for k in subset}
+            )
+            cache_dir = tmp / "cache"
+            engine = LintEngine()
+
+            cold = engine.lint_project(tree)
+            again = engine.lint_project(tree)
+            assert _payload(again.findings) == _payload(cold.findings)
+
+            # Shuffled phase-2 selection: restricting to all paths in an
+            # arbitrary order must equal the unrestricted run.
+            shuffled = data.draw(st.permutations(sorted(subset)))
+            selected = engine.lint_project(tree, only_paths=shuffled)
+            assert _payload(selected.findings) == _payload(cold.findings)
+
+            # Warm cache replays identical findings.
+            cache = LintCache(cache_dir)
+            engine.lint_project(tree, cache=cache)
+            cache.save()
+            warm = engine.lint_project(tree, cache=LintCache(cache_dir))
+            assert _payload(warm.findings) == _payload(cold.findings)
+            assert warm.stats.cache_hits == warm.stats.linted
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def test_occurrence_disambiguates_identical_findings(self):
+        source = (
+            "def f(xs):\n    return sum(xs)\n"
+            "def g(xs):\n    return sum(xs)\n"
+        )
+        engine = LintEngine([FloatDeterminismRule], project_rules=())
+        findings = engine.lint_source(source, "experiments/report.py")
+        assert [f.occurrence for f in findings] == [0, 1]
+        assert len({f.key() for f in findings}) == 2
+
+
+# ---------------------------------------------------------------------------
+# rule metadata (feeds docs/LINTING.md)
+# ---------------------------------------------------------------------------
+class TestRuleMetadata:
+    @pytest.mark.parametrize("rule_cls", ALL_RULES + PROJECT_RULES)
+    def test_every_rule_documents_itself(self, rule_cls):
+        assert rule_cls.rule_id.startswith("REP")
+        assert rule_cls.title
+        assert rule_cls.rationale
+        assert rule_cls.example
+        assert rule_cls.escape_hatch
+
+    def test_rule_ids_unique_and_sorted(self):
+        ids = [cls.rule_id for cls in ALL_RULES + PROJECT_RULES]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))

@@ -8,16 +8,25 @@ calibration, or inspect an island-map configuration.
 Commands
 --------
 ``experiments``            list all experiment ids
-``run <id> [--seed N] [--csv PATH] [--jobs N]
+``run <id> [--seed N] [--csv PATH] [--jobs N] [--backend B]
+          [--resume] [--speculate] [--manifest PATH]
           [--users N [--personas SPEC] [--battery NAME]]``
                            run one experiment and print its table;
                            ``--jobs N`` shards it across N worker
-                           processes via the parallel runner.  For
-                           STUDY1, ``--users N`` switches to the
-                           population-scale persona study (streaming
-                           aggregation, O(1) memory, byte-identical
-                           for any job count)
-``run-all [--jobs N] [--no-cache] [--only ID,ID] [--seed N]
+                           processes via the parallel runner and
+                           ``--backend`` picks the executor (inline,
+                           pool, workqueue).  For STUDY1, ``--users N``
+                           switches to the population-scale persona
+                           study (streaming aggregation, O(1) memory,
+                           byte-identical for any job count);
+                           ``--resume`` continues an interrupted run
+                           from its shard cache and manifest,
+                           recomputing only the missing shards, and
+                           ``--speculate`` re-executes stragglers on
+                           idle workers (first result wins, digests
+                           asserted equal)
+``run-all [--jobs N] [--backend B] [--resume] [--speculate]
+          [--manifest PATH] [--no-cache] [--only ID,ID] [--seed N]
           [--csv-dir DIR] [--cache-dir DIR] [--bench PATH]``
                            run the whole suite through the parallel
                            runner with the on-disk result cache, and
@@ -85,6 +94,82 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash_plan(
+    tokens: Sequence[str],
+) -> Optional[dict[tuple[str, int], int]]:
+    """Parse repeated ``--inject-crash EXPID:SHARD[:COUNT]`` values.
+
+    Returns ``None`` (after printing a usage error) on malformed input.
+    """
+    plan: dict[tuple[str, int], int] = {}
+    for token in tokens:
+        parts = token.split(":")
+        if len(parts) not in (2, 3):
+            print(
+                f"--inject-crash {token!r}: expected EXPID:SHARD[:COUNT]",
+                file=sys.stderr,
+            )
+            return None
+        try:
+            shard = int(parts[1])
+            count = int(parts[2]) if len(parts) == 3 else 1
+        except ValueError:
+            print(
+                f"--inject-crash {token!r}: SHARD and COUNT must be"
+                " integers",
+                file=sys.stderr,
+            )
+            return None
+        if shard < 0 or count < 1:
+            print(
+                f"--inject-crash {token!r}: SHARD must be >= 0 and"
+                " COUNT >= 1",
+                file=sys.stderr,
+            )
+            return None
+        key = (parts[0].upper(), shard)
+        plan[key] = plan.get(key, 0) + count
+    return plan
+
+
+def _runner_options(
+    args: argparse.Namespace,
+) -> Optional[dict[str, object]]:
+    """Validate the shared runner-v2 flags into run_experiments kwargs.
+
+    Returns ``None`` (after printing to stderr) on misuse — crash
+    injection off the workqueue backend, or an unknown backend name —
+    so both ``run`` and ``run-all`` exit 2 instead of tracebacking.
+    """
+    from repro.runner import BACKENDS
+
+    backend = getattr(args, "backend", None)
+    if backend is not None and backend not in BACKENDS:
+        print(
+            f"unknown backend {backend!r}; choose from"
+            f" {', '.join(BACKENDS)}",
+            file=sys.stderr,
+        )
+        return None
+    crash_plan = _parse_crash_plan(getattr(args, "inject_crash", None) or [])
+    if crash_plan is None:
+        return None
+    if crash_plan and backend != "workqueue":
+        print(
+            "--inject-crash requires --backend workqueue (the other"
+            " backends cannot survive a worker loss)",
+            file=sys.stderr,
+        )
+        return None
+    return {
+        "backend": backend,
+        "resume": bool(getattr(args, "resume", False)),
+        "speculate": bool(getattr(args, "speculate", False)),
+        "manifest_path": getattr(args, "manifest", None),
+        "crash_plan": crash_plan or None,
+    }
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     experiment_id = args.experiment_id.upper()
     runner = EXPERIMENT_RUNNERS.get(experiment_id)
@@ -106,6 +191,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    options = _runner_options(args)
+    if options is None:
+        return 2
+    # Any runner-v2 flag forces the sharded path: the serial runner has
+    # no backend, no shard cache and no manifest.
+    sharded = any(value for value in options.values())
+    cache = None
+    if options["resume"]:
+        from repro.runner import ResultCache
+        from repro.runner.cache import default_cache_dir
+
+        # Resume is shard-cache driven: completed shards are read back
+        # from the on-disk cache, so --resume implies using it.
+        cache = ResultCache()
+        if options["manifest_path"] is None:
+            options["manifest_path"] = (
+                default_cache_dir()
+                / "manifests"
+                / f"{experiment_id}-seed{args.seed}.json"
+            )
     if users is not None:
         if experiment_id != "STUDY1":
             print(
@@ -125,11 +230,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             [experiment_id],
             seed=args.seed,
             jobs=max(1, args.jobs or 1),
+            cache=cache,
             observe=trace_out is not None,
             overrides={experiment_id: spec},
+            **options,
         )
         result = results[experiment_id]
-    elif args.jobs is None and trace_out is None:
+    elif args.jobs is None and trace_out is None and not sharded:
         result = runner(args.seed)
     else:
         # --trace-out always routes through the sharded runner (even for
@@ -141,7 +248,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             [experiment_id],
             seed=args.seed,
             jobs=max(1, args.jobs or 1),
+            cache=cache,
             observe=trace_out is not None,
+            **options,
         )
         result = results[experiment_id]
     print(result.table())
@@ -268,7 +377,25 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     else:
         experiment_ids = list(EXPERIMENT_RUNNERS)
 
+    options = _runner_options(args)
+    if options is None:
+        return 2
+    if options["resume"] and args.no_cache:
+        print(
+            "--resume is shard-cache driven and cannot be combined with"
+            " --no-cache",
+            file=sys.stderr,
+        )
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if (
+        options["resume"]
+        and options["manifest_path"] is None
+        and cache is not None
+    ):
+        options["manifest_path"] = (
+            cache.root / "manifests" / f"run-all-seed{args.seed}.json"
+        )
     _results, bench = run_experiments(
         experiment_ids,
         seed=args.seed,
@@ -277,13 +404,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         csv_dir=args.csv_dir,
         bench_path=args.bench,
         echo=print,
+        **options,
     )
     print(
         f"\n{bench['experiment_count']} experiments "
         f"({bench['cached_count']} cached) in "
-        f"{bench['total_wall_s']:.2f}s wall with --jobs {bench['jobs']}; "
+        f"{bench['total_wall_s']:.2f}s wall with --jobs {bench['jobs']} "
+        f"({bench['backend']} backend); "
         f"serial-equivalent {bench['serial_equivalent_s']:.2f}s "
-        f"(speedup {bench['speedup_vs_serial']:.2f}x)"
+        f"(speedup {bench['speedup_vs_serial']:.2f}x; computed-only "
+        f"{bench['speedup_vs_serial_computed_only']:.2f}x)"
     )
     if args.bench:
         print(f"wrote {args.bench}")
@@ -636,6 +766,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_report(baseline_path),
         threshold=args.threshold,
         min_speedup=args.min_speedup,
+        min_efficiency=args.min_efficiency,
     )
     if failures:
         print(
@@ -646,6 +777,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print(f"perf gate passed against {baseline_path}")
     return 0
+
+
+def _add_runner_v2_flags(parser: argparse.ArgumentParser) -> None:
+    """The executor/resume/speculation flags shared by run and run-all."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="executor backend: inline, pool (default for --jobs > 1) "
+        "or workqueue (long-lived workers over shared queues, survives "
+        "worker loss); any backend produces byte-identical CSVs",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run: completed shards are read "
+        "back from the shard cache and only the missing ones are "
+        "recomputed (the manifest records the split)",
+    )
+    parser.add_argument(
+        "--speculate",
+        action="store_true",
+        help="re-execute straggler shards on idle workers once the "
+        "queue drains; first result wins, both digests must agree",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the resumable run manifest here (default with "
+        "--resume: under the cache directory)",
+    )
+    parser.add_argument(
+        "--inject-crash",
+        action="append",
+        default=None,
+        metavar="EXPID:SHARD[:COUNT]",
+        help="kill the worker executing this shard mid-flight COUNT "
+        "times (workqueue backend only; CI/fault-injection machinery)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -670,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shard across N worker processes (same rows as serial)",
     )
+    _add_runner_v2_flags(run_parser)
     run_parser.add_argument(
         "--trace-out",
         default=None,
@@ -709,6 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes (default 1)"
     )
+    _add_runner_v2_flags(run_all_parser)
     run_all_parser.add_argument(
         "--only",
         default=None,
@@ -871,6 +1044,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=3.0,
         help="required vectorized calibration speedup (default 3.0)",
+    )
+    bench_parser.add_argument(
+        "--min-efficiency",
+        type=float,
+        default=0.8,
+        help="required scheduler worker utilisation on the skewed "
+        "fan-out, full mode only (default 0.8)",
     )
     bench_parser.add_argument(
         "--list",

@@ -36,10 +36,14 @@ __all__ = [
     "format_report",
 ]
 
-#: Gate defaults: max tolerated throughput drop vs baseline, and the
-#: minimum vectorized calibration-sweep speedup the fast path must keep.
+#: Gate defaults: max tolerated throughput drop vs baseline, the
+#: minimum vectorized calibration-sweep speedup the fast path must keep,
+#: and the minimum worker utilisation the scheduler must sustain on the
+#: skewed fan-out workload (full mode only — quick shards are too small
+#: to amortize worker handoff).
 DEFAULT_THRESHOLD = 0.25
 DEFAULT_MIN_SPEEDUP = 3.0
+DEFAULT_MIN_EFFICIENCY = 0.8
 
 
 @dataclass(frozen=True)
@@ -69,16 +73,32 @@ class BenchRecord:
         }
 
 
-def _timed(workload: Callable[[], int], rounds: int) -> tuple[float, int]:
-    """Best-of-``rounds`` wall time for a workload returning its units."""
+#: A workload returns its unit count, optionally with a notes dict of
+#: derived values measured inside the run (e.g. worker utilisation).
+Workload = Callable[[], "int | tuple[int, dict]"]
+
+
+def _timed(workload: Workload, rounds: int) -> tuple[float, int, dict]:
+    """Best-of-``rounds`` wall time for a workload returning its units.
+
+    When the workload returns ``(units, notes)``, the notes of the best
+    round are kept — they describe the same execution the reported wall
+    time came from.
+    """
     best = float("inf")
     units = 0
+    notes: dict = {}
     for _ in range(rounds):
         start = time.perf_counter()
-        units = workload()
+        outcome = workload()
         elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-    return best, units
+        if isinstance(outcome, tuple):
+            round_units, round_notes = outcome
+        else:
+            round_units, round_notes = outcome, {}
+        if elapsed < best:
+            best, units, notes = elapsed, round_units, round_notes
+    return best, units, notes
 
 
 # ---------------------------------------------------------------------------
@@ -298,9 +318,48 @@ def _user_study_throughput(quick: bool) -> Callable[[], int]:
     return workload
 
 
+def _runner_fanout(quick: bool) -> Callable[[], tuple[int, dict]]:
+    """Skewed shard fan-out through the work-queue runner backend.
+
+    Runs the synthetic :mod:`repro.perf.fanout` experiment — one
+    dominant straggler shard plus a tail of cheap ones — across four
+    work-queue workers, and reports the driver's measured worker
+    utilisation as ``scheduler_efficiency``: the fraction of available
+    worker-seconds spent executing shards during the fan-out.  LPT
+    ordering and as-completed collection are what keep it high; a
+    submission-order scheduler on this workload idles the fleet behind
+    the straggler.
+    """
+    from repro.perf.fanout import SKEWED_COSTS, fanout_spec
+    from repro.runner.pool import run_experiments
+
+    workers = 4
+    scale = 60 if quick else 600
+    spec = fanout_spec(scale=scale)
+
+    def workload() -> tuple[int, dict]:
+        _results, bench = run_experiments(
+            ["FANOUT"],
+            seed=0,
+            jobs=workers,
+            backend="workqueue",
+            overrides={"FANOUT": spec},
+        )
+        utilisation = bench["worker_utilisation"] or 0.0
+        units = sum(SKEWED_COSTS) * scale
+        return units, {
+            "scheduler_efficiency": utilisation,
+            "backend": "workqueue",
+            "workers": workers,
+            "shards": len(SKEWED_COSTS),
+        }
+
+    return workload
+
+
 #: name -> (factory(quick) -> workload, unit name).  The factory imports
 #: lazily so ``repro bench --list`` stays fast and dependency-light.
-BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
+BENCHMARKS: dict[str, tuple[Callable[[bool], Workload], str]] = {
     "calib-sweep-scalar": (
         lambda quick: _calib_sweep(quick, vectorized=False),
         "samples",
@@ -317,6 +376,7 @@ BENCHMARKS: dict[str, tuple[Callable[[bool], Callable[[], int]], str]] = {
     "device-second-observed": (_device_second_observed, "events"),
     "device-second-batched": (_device_second_batched, "device-ticks"),
     "user-study-throughput": (_user_study_throughput, "users"),
+    "runner-fanout": (_runner_fanout, "iterations"),
 }
 
 
@@ -349,13 +409,14 @@ def run_benchmarks(
     for name in names:
         factory, unit_name = BENCHMARKS[name]
         workload = factory(quick)
-        wall_s, units = _timed(workload, rounds)
+        wall_s, units, notes = _timed(workload, rounds)
         record = BenchRecord(
             name=name,
             wall_s=wall_s,
             units=units,
             unit_name=unit_name,
             rounds=rounds,
+            notes=notes,
         )
         records[name] = record
         say(
@@ -400,6 +461,18 @@ def run_benchmarks(
             "batched engine: "
             f"{derived['batch_speedup']:.1f}x scalar device throughput"
         )
+    fanout = records.get("runner-fanout")
+    if fanout is not None and "scheduler_efficiency" in fanout.notes:
+        # Worker utilisation on the skewed fan-out — measured inside
+        # the run by the driver, surfaced as a gated derived value.
+        derived["scheduler_efficiency"] = float(
+            fanout.notes["scheduler_efficiency"]
+        )
+        say(
+            "scheduler efficiency: "
+            f"{derived['scheduler_efficiency']:.2f} worker utilisation "
+            "on the skewed fan-out"
+        )
 
     return {
         "generated_by": "python -m repro bench",
@@ -417,6 +490,7 @@ def check_report(
     baseline: dict,
     threshold: float = DEFAULT_THRESHOLD,
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    min_efficiency: float = DEFAULT_MIN_EFFICIENCY,
 ) -> list[str]:
     """Regression gate: failure messages, empty when the gate passes.
 
@@ -432,7 +506,12 @@ def check_report(
       full-mode ones on the same machine and code);
     * the calibration fast path must stay at least ``min_speedup`` times
       faster than the scalar reference in **every** mode, baseline or
-      not — this absolute floor is what the CI quick run gates on.
+      not — this absolute floor is what the CI quick run gates on;
+    * the scheduler must keep at least ``min_efficiency`` worker
+      utilisation on the skewed fan-out, full mode only: quick-mode
+      shards are deliberately small, so worker handoff overhead
+      dominates and the absolute floor would gate noise, not
+      scheduling quality.
     """
     failures: list[str] = []
     same_mode = bool(current.get("quick")) == bool(baseline.get("quick"))
@@ -471,6 +550,17 @@ def check_report(
             f"calibration fast path speedup {speedup:.2f}x is below the "
             f"required {min_speedup:.1f}x — the vectorized sensing path "
             "regressed toward the scalar loop"
+        )
+    efficiency = current.get("derived", {}).get("scheduler_efficiency")
+    if (
+        efficiency is not None
+        and not current.get("quick")
+        and efficiency < min_efficiency
+    ):
+        failures.append(
+            f"scheduler efficiency {efficiency:.2f} is below the required "
+            f"{min_efficiency:.2f} worker utilisation — the runner is "
+            "idling workers behind stragglers on the skewed fan-out"
         )
     return failures
 

@@ -1,4 +1,4 @@
-"""Parallel experiment execution: sharding, process pool, result cache.
+"""Parallel experiment execution: executors, sharding, cache, manifests.
 
 The experiment suite is embarrassingly parallel — every (experiment,
 seed) pair, and within several experiments every sweep point or
@@ -10,26 +10,49 @@ registry of experiment runners into:
   old closure-based registry;
 * :mod:`repro.runner.sharding` — deterministic decomposition of a spec
   into :class:`Shard` work units and order-stable merging of the partial
-  results, with per-shard seeds derived via ``SeedSequence`` spawning
-  where an experiment opts in;
+  results; any single shard is derivable in O(1) via
+  :func:`make_shard`, so workers never materialize a million-entry
+  shard list to run one unit;
+* :mod:`repro.runner.executors` — pluggable backends behind one
+  submit/poll contract: ``inline`` (reference path), ``pool``
+  (``ProcessPoolExecutor``) and ``workqueue`` (long-lived mortal
+  workers over shared queues — the single-machine stand-in for a
+  distributed fleet, with crash detection and per-shard retry);
 * :mod:`repro.runner.cache` — a content-addressed on-disk result cache
   keyed by experiment id, parameters, seed and a digest of the package
-  sources, so re-running an unchanged sweep is near-instant;
-* :mod:`repro.runner.pool` — the driver that fans shards across a
-  ``ProcessPoolExecutor`` and writes ``BENCH_runner.json`` timings.
+  sources, at both experiment and shard granularity;
+* :mod:`repro.runner.manifest` — the durable per-run progress ledger
+  that makes interrupted population-scale runs resumable and resume
+  behaviour assertable;
+* :mod:`repro.runner.pool` — the backend-agnostic scheduler: cost-aware
+  LPT ordering, as-completed collection with per-experiment incremental
+  merge, first-error cancellation, straggler speculation, and the
+  ``BENCH_runner.json`` timing report.
 
-The contract throughout: ``--jobs 1`` and ``--jobs N`` produce
-byte-identical merged CSVs, and a cache hit recomputes nothing.
+The contract throughout: any backend, any job count, any crash/retry or
+speculation interleaving produces byte-identical merged CSVs, and a
+cache hit recomputes nothing.
 """
 
 from repro.runner.cache import ResultCache, source_digest
+from repro.runner.executors import (
+    BACKENDS,
+    ShardExecutionError,
+    ShardTask,
+    make_executor,
+)
+from repro.runner.manifest import RunManifest, run_key
 from repro.runner.pool import run_experiments
 from repro.runner.registry import REGISTRY, ExperimentSpec, build_runner
 from repro.runner.sharding import (
     Shard,
+    estimate_shard_cost,
     execute_shard,
+    make_shard,
     make_shards,
     merge_shard_results,
+    n_shards,
+    shard_result_digest,
     spawn_shard_seeds,
 )
 
@@ -40,8 +63,18 @@ __all__ = [
     "ResultCache",
     "source_digest",
     "run_experiments",
+    "BACKENDS",
+    "ShardExecutionError",
+    "ShardTask",
+    "make_executor",
+    "RunManifest",
+    "run_key",
     "Shard",
+    "make_shard",
     "make_shards",
+    "n_shards",
+    "estimate_shard_cost",
+    "shard_result_digest",
     "execute_shard",
     "merge_shard_results",
     "spawn_shard_seeds",

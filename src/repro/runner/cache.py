@@ -10,6 +10,20 @@ files that can be deleted at will.
 Entries store the merged, normalized :class:`ExperimentResult` plus the
 original compute cost (wall seconds, kernel events), which the runner
 reports for cache hits in ``BENCH_runner.json``.
+
+Two granularities share the directory:
+
+* **experiment entries** (``<key>.json``) — the merged result, exactly
+  as before;
+* **shard entries** (``<key>.shard.pkl``) — one executed
+  :class:`~repro.runner.sharding.ShardResult` keyed on ``(spec, seed,
+  shard index, sources)``.  These are what make an interrupted
+  ``repro run STUDY1 --users 1_000_000`` resumable: every completed
+  shard is durable the moment it merges back, so a second invocation
+  recomputes only the shards the interruption lost.  Payloads are
+  pickled (shard data is exactly what already crosses the worker
+  process boundary); the key's source digest makes stale loads
+  structurally impossible, pickle compatibility included.
 """
 
 from __future__ import annotations
@@ -17,11 +31,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from pathlib import Path
 from typing import Optional
 
 from repro.experiments.harness import ExperimentResult
 from repro.runner.registry import ExperimentSpec
+from repro.runner.sharding import ShardResult
 
 __all__ = ["ResultCache", "source_digest", "default_cache_dir"]
 
@@ -64,6 +80,8 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.shard_hits = 0
+        self.shard_misses = 0
 
     def key(self, spec: ExperimentSpec, seed: int) -> str:
         """Content address for one ``(spec, seed)`` pair."""
@@ -113,4 +131,64 @@ class ResultCache:
         }
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, ensure_ascii=False))
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    # shard-level entries
+    # ------------------------------------------------------------------
+    def shard_key(self, spec: ExperimentSpec, seed: int, index: int) -> str:
+        """Content address for one ``(spec, seed, shard index)`` unit."""
+        material = json.dumps(
+            {
+                "format": _FORMAT_VERSION,
+                "spec": spec.cache_token(),
+                "seed": seed,
+                "shard": index,
+                "sources": source_digest(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _shard_path(self, key: str) -> Path:
+        return self.root / f"{key}.shard.pkl"
+
+    def get_shard(
+        self, spec: ExperimentSpec, seed: int, index: int
+    ) -> Optional[ShardResult]:
+        """The cached executed shard for this key, or ``None``.
+
+        Loaded shards carry no observability payload (observed runs
+        bypass the cache entirely, mirroring the experiment-level rule).
+        """
+        path = self._shard_path(self.shard_key(spec, seed, index))
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.shard_misses += 1
+            return None
+        self.shard_hits += 1
+        return ShardResult(
+            experiment_id=payload["experiment_id"],
+            index=payload["index"],
+            data=payload["data"],
+            events=payload["events"],
+            wall_s=payload["wall_s"],
+        )
+
+    def put_shard(
+        self, spec: ExperimentSpec, seed: int, index: int, result: ShardResult
+    ) -> None:
+        """Store one executed shard (atomically; obs payload excluded)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._shard_path(self.shard_key(spec, seed, index))
+        payload = {
+            "experiment_id": result.experiment_id,
+            "index": result.index,
+            "data": result.data,
+            "events": result.events,
+            "wall_s": result.wall_s,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(pickle.dumps(payload, protocol=4))
         tmp.replace(path)

@@ -89,6 +89,10 @@ class ExperimentSpec:
     seeds_entry: str | None = None
     #: For ``userblocks`` sharding: participants per block.
     users_per_shard: int = 4096
+    #: Relative per-shard cost weight for the scheduler's LPT ordering
+    #: (block sharders additionally scale by block size).  Pure
+    #: scheduling advice: it never enters cache keys or results.
+    cost_hint: float = 1.0
 
     def kwargs(self) -> dict:
         """The entry-point keyword arguments as a fresh dict."""

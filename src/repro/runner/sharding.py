@@ -9,8 +9,13 @@ Per-shard randomness: ``param`` shards reuse the experiment seed (each
 sweep value builds its hardware fresh from it, exactly as the serial
 loop does), while ``users`` shards get one seed per participant — either
 from the experiment's own legacy derivation (``seeds_entry``) or from
-:func:`spawn_shard_seeds`, which spawns ``numpy.random.SeedSequence``
-children so streams stay decorrelated no matter how many shards exist.
+:func:`shard_seed`, which derives one ``numpy.random.SeedSequence``
+child per shard from ``(seed, SHARD_STREAM, index)`` alone, so streams
+stay decorrelated no matter how many shards exist and any single shard
+is derivable in O(1) — workers never materialize the other S-1 shards
+to run one (:func:`make_shard`).  Speculative re-executions and
+crash retries call the very same derivation with the very same index,
+so a retried shard replays the original stream bit-for-bit.
 ``userblocks`` shards carry ``(start, count)`` ranges of participant
 indices; every participant's streams derive from ``(seed, user_index)``
 alone, so neither the block size nor the job count can affect the
@@ -22,6 +27,8 @@ and per-device streams derive from ``(seed, device_index)`` spawn keys.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
@@ -33,12 +40,18 @@ from repro.obs.metrics import SNAPSHOT_VERSION, merge_snapshots
 from repro.obs.recorder import Recorder, use_recorder
 from repro.runner.registry import ExperimentSpec, resolve_entry
 from repro.sim import kernel
+from repro.sim.streams import SHARD_STREAM
 
 __all__ = [
     "Shard",
     "ShardResult",
+    "shard_seed",
     "spawn_shard_seeds",
+    "n_shards",
+    "make_shard",
     "make_shards",
+    "estimate_shard_cost",
+    "shard_result_digest",
     "execute_shard",
     "merge_shard_results",
 ]
@@ -72,53 +85,137 @@ class ShardResult:
     obs: Optional[dict[str, Any]] = None
 
 
-def spawn_shard_seeds(seed: int, n: int) -> list[int]:
-    """``n`` decorrelated child seeds via ``SeedSequence`` spawning.
+def shard_seed(seed: int, index: int) -> int:
+    """Shard ``index``'s seed, derived in O(1) from ``(seed, index)``.
 
-    Spawning (rather than ``seed + i`` arithmetic) guarantees the child
+    A ``SeedSequence`` child under the registered ``SHARD_STREAM``
+    domain (rather than ``seed + i`` arithmetic) guarantees the child
     streams are statistically independent and stable under resharding:
-    shard ``i``'s seed depends only on ``(seed, i)``.
+    shard ``i``'s seed depends only on ``(seed, i)``, never on how many
+    siblings exist.  Speculative and crash-retried re-executions of
+    shard ``i`` call this with the same index, so they replay the
+    original stream bit-for-bit.
     """
-    children = np.random.SeedSequence(seed).spawn(n)
-    return [int(child.generate_state(1, np.uint32)[0]) for child in children]
+    child = np.random.SeedSequence(seed, spawn_key=(SHARD_STREAM, index))
+    return int(child.generate_state(1, np.uint32)[0])
+
+
+def spawn_shard_seeds(seed: int, n: int) -> list[int]:
+    """``n`` decorrelated child seeds — ``shard_seed`` over ``range(n)``."""
+    return [shard_seed(seed, index) for index in range(n)]
+
+
+def n_shards(spec: ExperimentSpec, seed: int) -> int:
+    """How many shards :func:`make_shards` would return, computed O(1)."""
+    if spec.sharder == "whole":
+        return 1
+    if spec.sharder == "param":
+        return len(spec.shard_values or ())
+    if spec.sharder == "users":
+        return int(dict(spec.params)[spec.n_users_param])
+    if spec.sharder in ("userblocks", "devicebatch"):
+        n_users = int(dict(spec.params)[spec.n_users_param])
+        block = spec.users_per_shard
+        return (n_users + block - 1) // block
+    raise ValueError(
+        f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
+    )
+
+
+def make_shard(spec: ExperimentSpec, seed: int, index: int) -> Shard:
+    """Derive the single shard ``index`` without materializing the rest.
+
+    O(1) for every sharding strategy except ``users`` specs with a
+    legacy ``seeds_entry`` (a master-stream draw is inherently O(n) in
+    the participant index; the population-scale sharders — and ``users``
+    specs on the default :func:`shard_seed` derivation — never pay it).
+    Workers use this to run one shard of a million-user study without
+    rebuilding the full shard list.
+    """
+    count = n_shards(spec, seed)
+    if not 0 <= index < count:
+        raise IndexError(
+            f"{spec.experiment_id}: shard index {index} out of"
+            f" range({count})"
+        )
+    if spec.sharder == "whole":
+        return Shard(spec.experiment_id, 0, 1)
+    if spec.sharder == "param":
+        values = spec.shard_values or ()
+        return Shard(spec.experiment_id, index, count, payload=values[index])
+    if spec.sharder == "users":
+        if spec.seeds_entry is not None:
+            user_seed = resolve_entry(spec.seeds_entry)(seed, count)[index]
+        else:
+            user_seed = shard_seed(seed, index)
+        return Shard(spec.experiment_id, index, count, payload=user_seed)
+    # userblocks / devicebatch (n_shards already rejected unknowns)
+    total = int(dict(spec.params)[spec.n_users_param])
+    block = spec.users_per_shard
+    start = index * block
+    return Shard(
+        spec.experiment_id,
+        index,
+        count,
+        payload=(start, min(block, total - start)),
+    )
 
 
 def make_shards(spec: ExperimentSpec, seed: int) -> list[Shard]:
     """Decompose a spec into its deterministic shard list."""
-    if spec.sharder == "whole":
-        return [Shard(spec.experiment_id, 0, 1)]
-    if spec.sharder == "param":
-        values = spec.shard_values or ()
+    count = n_shards(spec, seed)
+    if spec.sharder == "users" and spec.seeds_entry is not None:
+        # One resolve for the whole family: the legacy master-stream
+        # derivation is O(n) per call, so make_shard in a loop would be
+        # quadratic here.
+        user_seeds = resolve_entry(spec.seeds_entry)(seed, count)
         return [
-            Shard(spec.experiment_id, i, len(values), payload=value)
-            for i, value in enumerate(values)
-        ]
-    if spec.sharder == "users":
-        n_users = int(dict(spec.params)[spec.n_users_param])
-        if spec.seeds_entry is not None:
-            user_seeds = resolve_entry(spec.seeds_entry)(seed, n_users)
-        else:
-            user_seeds = spawn_shard_seeds(seed, n_users)
-        return [
-            Shard(spec.experiment_id, i, n_users, payload=user_seed)
+            Shard(spec.experiment_id, i, count, payload=user_seed)
             for i, user_seed in enumerate(user_seeds)
         ]
+    return [make_shard(spec, seed, index) for index in range(count)]
+
+
+def estimate_shard_cost(spec: ExperimentSpec, shard: Shard) -> float:
+    """Relative cost estimate for LPT (longest-processing-time) ordering.
+
+    Block sharders carry their block size in the payload — a partial
+    trailing block is proportionally cheaper — while the other
+    strategies are treated as unit work scaled by the spec's
+    ``cost_hint``.  Only the *ordering* matters: the scheduler submits
+    expensive shards first so stragglers start early, which is what
+    keeps worker utilisation high on skewed workloads.
+    """
     if spec.sharder in ("userblocks", "devicebatch"):
-        n_users = int(dict(spec.params)[spec.n_users_param])
-        block = spec.users_per_shard
-        starts = list(range(0, n_users, block))
-        return [
-            Shard(
-                spec.experiment_id,
-                i,
-                len(starts),
-                payload=(start, min(block, n_users - start)),
-            )
-            for i, start in enumerate(starts)
-        ]
-    raise ValueError(
-        f"{spec.experiment_id}: unknown sharder {spec.sharder!r}"
+        _start, count = shard.payload
+        return float(count) * spec.cost_hint
+    if (
+        spec.sharder == "param"
+        and isinstance(shard.payload, (int, float))
+        and not isinstance(shard.payload, bool)
+    ):
+        # Sweep values frequently *are* the size knob (island-map entry
+        # counts, synthetic fan-out costs), so a numeric payload doubles
+        # as the cost proxy; +1 keeps zero-valued sweep points schedulable.
+        return (abs(float(shard.payload)) + 1.0) * spec.cost_hint
+    return spec.cost_hint
+
+
+def shard_result_digest(result: ShardResult) -> str:
+    """Content digest of a shard's deterministic payload.
+
+    Covers the data and the kernel event count — everything derived
+    from the simulation — and deliberately excludes ``wall_s`` (host
+    timing) and ``obs`` (never speculated; observed runs bypass both
+    the cache and speculation).  Two executions of the same shard must
+    digest identically; the speculation path asserts exactly that when
+    a duplicate and its original both finish.
+    """
+    blob = pickle.dumps(
+        (result.experiment_id, result.index, result.events, result.data),
+        protocol=4,
     )
+    return hashlib.sha256(blob).hexdigest()
 
 
 def _dispatch_shard(spec: ExperimentSpec, seed: int, shard: Shard) -> Any:

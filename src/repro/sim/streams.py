@@ -29,6 +29,7 @@ __all__ = [
     "PERSONA_STREAM",
     "TRIAL_STREAM",
     "BATCH_STREAM",
+    "SHARD_STREAM",
     "STREAM_DOMAINS",
     "is_registered_domain",
 ]
@@ -46,6 +47,16 @@ TRIAL_STREAM = 0x79B9
 #: sub-streams, one family per fleet index.
 BATCH_STREAM = 0xBA7C
 
+#: Per-shard seed derivation of the parallel runner
+#: (`repro.runner.sharding`): shard ``i`` of a run derives from
+#: ``(seed, SHARD_STREAM, i)`` alone, so any worker can materialize any
+#: single shard in O(1) without spawning the whole family.  There is
+#: deliberately *no* separate retry/speculation domain: a speculative or
+#: crash-retried re-execution of shard ``i`` must replay the original
+#: shard stream bit-for-bit (first result wins, byte-equality asserted),
+#: so retries reuse this domain with the same trailing key.
+SHARD_STREAM = 0x5A8D
+
 #: Every declared domain tag, value -> constant name.  ``repro lint``
 #: (REP006) rejects spawn-key tuples whose first element is not one of
 #: these constants, and rejects duplicate values.
@@ -53,6 +64,7 @@ STREAM_DOMAINS: dict[int, str] = {
     PERSONA_STREAM: "PERSONA_STREAM",
     TRIAL_STREAM: "TRIAL_STREAM",
     BATCH_STREAM: "BATCH_STREAM",
+    SHARD_STREAM: "SHARD_STREAM",
 }
 
 

@@ -87,7 +87,19 @@ class TestRunBenchmarks:
             "calib-sweep-vectorized",
             "kernel-events",
             "kernel-cancel-churn",
+            "runner-fanout",
         } <= set(BENCHMARKS)
+
+    def test_runner_fanout_reports_scheduler_efficiency(self):
+        report = run_benchmarks(only=["runner-fanout"], quick=True)
+        entry = report["benchmarks"]["runner-fanout"]
+        assert entry["backend"] == "workqueue"
+        assert entry["workers"] == 4
+        assert entry["units"] > 0
+        efficiency = report["derived"]["scheduler_efficiency"]
+        assert 0.0 < efficiency <= 1.0
+        # The notes of the best round and the derived value must agree.
+        assert entry["scheduler_efficiency"] == efficiency
 
 
 class TestCheckReport:
@@ -159,6 +171,26 @@ class TestCheckReport:
         current = _report({"a": 89.0})
         assert check_report(current, baseline, threshold=0.10)
         assert check_report(current, baseline, threshold=0.20) == []
+
+    def test_scheduler_efficiency_floor_full_mode(self):
+        report = _report({}, {"scheduler_efficiency": 0.5})
+        failures = check_report(report, _report({}))
+        assert any("scheduler efficiency" in f for f in failures)
+
+    def test_scheduler_efficiency_floor_skipped_in_quick_mode(self):
+        """Quick-mode shards are too small to amortize worker handoff,
+        so the absolute utilisation floor only gates full runs."""
+        report = _report({}, {"scheduler_efficiency": 0.5}, quick=True)
+        assert check_report(report, _report({}, quick=True)) == []
+
+    def test_scheduler_efficiency_passes_above_floor(self):
+        report = _report({}, {"scheduler_efficiency": 0.93})
+        assert check_report(report, _report({})) == []
+
+    def test_scheduler_efficiency_custom_floor(self):
+        report = _report({}, {"scheduler_efficiency": 0.93})
+        failures = check_report(report, _report({}), min_efficiency=0.95)
+        assert any("scheduler efficiency" in f for f in failures)
 
 
 class TestFormatReport:
@@ -255,3 +287,7 @@ class TestCommittedBaseline:
         # throughput (the hot-path bugfix sweep's floor).
         assert report["derived"]["batch_speedup"] >= 20.0
         assert report["derived"]["obs_enabled_ratio"] >= 0.55
+        # Runner-v2 acceptance: the scheduler keeps >= 0.8 worker
+        # utilisation on the skewed fan-out (cost-aware LPT ordering +
+        # as-completed collection; see repro.perf.fanout).
+        assert report["derived"]["scheduler_efficiency"] >= 0.8

@@ -1,8 +1,17 @@
 """Competing scrolling techniques behind one comparison interface."""
 
-from repro.baselines.base import OperatorTimes, ScrollingTechnique, TechniqueTrial
+from repro.baselines.base import (
+    OperatorTimes,
+    ScrollingTechnique,
+    TechniqueFault,
+    TechniqueInfo,
+    TechniqueTrial,
+)
 from repro.baselines.buttons import ButtonScroller
 from repro.baselines.distscroll import DistScrollTechnique
+from repro.baselines.headmouse import HeadMouseScroller
+from repro.baselines.pointnmove import PointNMoveScroller
+from repro.baselines.pressurepad import PressurePadScroller
 from repro.baselines.tilt import TiltScroller
 from repro.baselines.touch import TouchScroller
 from repro.baselines.wheel import WheelScroller
@@ -11,9 +20,14 @@ from repro.baselines.yoyo import YoYoScroller
 __all__ = [
     "OperatorTimes",
     "ScrollingTechnique",
+    "TechniqueFault",
+    "TechniqueInfo",
     "TechniqueTrial",
     "ButtonScroller",
     "DistScrollTechnique",
+    "HeadMouseScroller",
+    "PointNMoveScroller",
+    "PressurePadScroller",
     "TiltScroller",
     "TouchScroller",
     "WheelScroller",
@@ -29,4 +43,7 @@ ALL_TECHNIQUES = {
     "wheel": WheelScroller,
     "yoyo": YoYoScroller,
     "touch": TouchScroller,
+    "pointnmove": PointNMoveScroller,
+    "headmouse": HeadMouseScroller,
+    "pressurepad": PressurePadScroller,
 }

@@ -20,12 +20,105 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import ClassVar, Optional
 
 import numpy as np
 
 from repro.interaction.gloves import GLOVES, Glove
 
-__all__ = ["OperatorTimes", "TechniqueTrial", "ScrollingTechnique"]
+__all__ = [
+    "OperatorTimes",
+    "TechniqueTrial",
+    "TechniqueInfo",
+    "TechniqueFault",
+    "ScrollingTechnique",
+]
+
+
+@dataclass(frozen=True)
+class TechniqueInfo:
+    """Docs metadata of one technique — the TECHNIQUES.md source of truth.
+
+    Every registered technique carries one of these as a class attribute;
+    ``scripts/generate_techniques_md.py`` renders the per-technique pages
+    from it, and a registry completeness test asserts no technique ships
+    without docs metadata.
+
+    Attributes
+    ----------
+    key:
+        Registry key in :data:`repro.baselines.ALL_TECHNIQUES`.
+    title:
+        Human-readable technique name for headings.
+    citation:
+        The paper the model reproduces (PAPERS.md entry or the source
+        paper's Related Work reference).
+    input_model:
+        What is physically sensed, and through which substrate (ADC
+        channels, accelerometer, optical tracking, ...).
+    transfer_function:
+        How the sensed quantity becomes list motion (position control,
+        rate control, detents, flicks, ...).
+    control_order:
+        ``"position"`` (zero-order: input maps to a list position) or
+        ``"rate"`` (first-order: input maps to a scroll velocity).
+    fault_surfaces:
+        The named degradation modes the model exposes through
+        :class:`TechniqueFault` windows (empty for idealized models
+        without a fault seam).
+    """
+
+    key: str
+    title: str
+    citation: str
+    input_model: str
+    transfer_function: str
+    control_order: str
+    fault_surfaces: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.control_order not in ("position", "rate"):
+            raise ValueError(
+                f"control_order must be 'position' or 'rate', "
+                f"got {self.control_order!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TechniqueFault:
+    """One degradation window, indexed in *trials* of a session.
+
+    Operator-level techniques have no simulated clock of their own, so
+    their fault windows are scheduled over the session's trial sequence:
+    the fault is active for every ``select`` call whose zero-based trial
+    index falls in ``[start_trial, end_trial)``.  Techniques degrade
+    *gracefully* inside a window — extra time, re-acquisitions, perhaps
+    errors — and never raise.
+
+    ``kind`` must name one of the technique's declared
+    :attr:`TechniqueInfo.fault_surfaces`; :class:`ScrollingTechnique`
+    validates this at construction so a typo cannot silently disable an
+    injection.
+    """
+
+    kind: str
+    start_trial: int
+    end_trial: int
+
+    def __post_init__(self) -> None:
+        if self.start_trial < 0:
+            raise ValueError(
+                f"start_trial must be >= 0, got {self.start_trial}"
+            )
+        if self.end_trial <= self.start_trial:
+            raise ValueError(
+                f"end_trial must be > start_trial, got "
+                f"[{self.start_trial}, {self.end_trial})"
+            )
+
+    def active(self, trial_index: int) -> bool:
+        """Whether the window covers ``trial_index`` (half-open)."""
+        return self.start_trial <= trial_index < self.end_trial
 
 
 @dataclass(frozen=True)
@@ -91,6 +184,8 @@ class ScrollingTechnique(abc.ABC):
     rng: np.random.Generator
     glove: Glove = field(default_factory=lambda: GLOVES["none"])
     times: OperatorTimes = field(default_factory=OperatorTimes)
+    #: Scheduled degradation windows over this session's trial sequence.
+    faults: tuple[TechniqueFault, ...] = ()
 
     #: Human-readable technique name.
     name: str = "abstract"
@@ -103,14 +198,53 @@ class ScrollingTechnique(abc.ABC):
     mechanical_parts: bool = False
     #: Whether the technique is attached to garment/body.
     body_attached: bool = False
+    #: Docs metadata (set by every registered technique; ``None`` only on
+    #: the abstract base).
+    info: ClassVar[Optional[TechniqueInfo]] = None
 
     def __post_init__(self) -> None:
         self._scaled_times = self.times.scaled(self.glove)
+        self._trials_run = 0
+        info = type(self).info
+        if self.faults and info is None:
+            raise ValueError(
+                f"{type(self).__name__} declares no fault surfaces"
+            )
+        for window in self.faults:
+            if info is not None and window.kind not in info.fault_surfaces:
+                raise ValueError(
+                    f"{type(self).__name__}: unknown fault surface "
+                    f"{window.kind!r}; declared: "
+                    f"{', '.join(info.fault_surfaces) or '(none)'}"
+                )
 
     @property
     def t(self) -> OperatorTimes:
         """Glove-scaled operator times."""
         return self._scaled_times
+
+    @property
+    def trials_run(self) -> int:
+        """Trials started so far (the fault-window clock)."""
+        return self._trials_run
+
+    def _begin_trial(self) -> int:
+        """Advance the session trial counter; returns this trial's index.
+
+        Techniques with a fault seam (or session-scale effects such as
+        fatigue) call this at the top of :meth:`select`; the returned
+        index is what :meth:`fault_active` windows are matched against.
+        """
+        index = self._trials_run
+        self._trials_run += 1
+        return index
+
+    def fault_active(self, kind: str, trial_index: int) -> bool:
+        """Whether a ``kind`` window covers ``trial_index``."""
+        return any(
+            window.kind == kind and window.active(trial_index)
+            for window in self.faults
+        )
 
     @abc.abstractmethod
     def select(

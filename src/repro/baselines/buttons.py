@@ -14,8 +14,13 @@ long repeats may overrun the target and need corrective single presses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
-from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
 from repro.interaction.fitts import index_of_difficulty
 
 __all__ = ["ButtonScroller"]
@@ -36,11 +41,27 @@ class ButtonScroller(ScrollingTechnique):
     one_handed: bool = True
     glove_compatible: bool = False  # small keys; thick gloves mis-press
     repeat_threshold: int = 4
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="buttons",
+        title="Up/down buttons with auto-repeat",
+        citation="2005-era mobile-phone keypads (DistScroll §2 baseline)",
+        input_model=(
+            "Two discrete keys; each press (or auto-repeat tick) is a "
+            "debounced digital input, one entry per step."
+        ),
+        transfer_function=(
+            "Position control, one entry per press; holding past the "
+            "repeat delay scrolls at the auto-repeat rate, with a "
+            "release-timing overshoot hazard on long bursts."
+        ),
+        control_order="position",
+    )
 
     def select(
         self, start_index: int, target_index: int, n_entries: int
     ) -> TechniqueTrial:
         """Scroll press-by-press (or via auto-repeat) and select."""
+        self._begin_trial()
         if not 0 <= target_index < n_entries:
             raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
         trial = TechniqueTrial(duration_s=0.0)

@@ -11,9 +11,13 @@ direction for a reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import ClassVar, Optional
 
-from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
 from repro.core.config import DeviceConfig
 from repro.core.device import DistScroll
 from repro.core.menu import build_menu
@@ -39,6 +43,25 @@ class DistScrollTechnique(ScrollingTechnique):
     name: str = "distscroll"
     one_handed: bool = True
     glove_compatible: bool = True
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="distscroll",
+        title="DistScroll distance-based scrolling",
+        citation=(
+            "Kranz, Holleis, Schmidt — DistScroll: A New One-Handed "
+            "Interaction Device (ICDCSW 2005), the source paper"
+        ),
+        input_model=(
+            "GP2D120 infrared distance sensor → 10-bit ADC → firmware "
+            "island mapping; the full reproduction stack runs per "
+            "trial, sensor noise and all."
+        ),
+        transfer_function=(
+            "Position control: hand distance maps onto the visible "
+            "chunk of the list, so any entry in range is one Fitts-law "
+            "reach away; an aux button pages between chunks."
+        ),
+        control_order="position",
+    )
     config: DeviceConfig = field(default_factory=DeviceConfig)
     profile: Optional[MotorProfile] = None
     _device: Optional[DistScroll] = field(default=None, init=False, repr=False)
@@ -77,6 +100,7 @@ class DistScrollTechnique(ScrollingTechnique):
         self, start_index: int, target_index: int, n_entries: int
     ) -> TechniqueTrial:
         """Run one full closed-loop selection on the simulated device."""
+        self._begin_trial()
         if not 0 <= target_index < n_entries:
             raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
         self._ensure_device(n_entries)

@@ -1,0 +1,144 @@
+"""Optical head-tilt scrolling (HEAD-MOUSE) through the technique interface.
+
+HeydariGorji et al.'s *HEAD-MOUSE* (PAPERS.md) measures head tilt
+optically and drives a cursor from it — a hands-free, first-order
+control.  As a scrolling technique it behaves like
+:class:`~repro.baselines.tilt.TiltScroller` with two twists the source
+paper's fatigue critique makes concrete:
+
+* **Neck fatigue drifts with the session.**  Holding a head tilt is far
+  more tiring than a wrist tilt, so the comfortable cruise rate decays
+  and the stopping error widens as :attr:`trials_run` grows — the arena
+  measures this as within-session slowdown.
+* **The tracker can drop out** (``tracker-dropout`` fault surface): the
+  optical measurement losing the face mid-approach forces a re-center
+  and a restarted approach.  Inside a window the technique degrades
+  gracefully, never raising.
+
+Selection is dwell-to-click, so the hands — and whatever gloves are on
+them — never touch the device: the one technique in the roster that is
+trivially glove-proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
+from repro.interaction.fitts import index_of_difficulty
+
+__all__ = ["HeadMouseScroller"]
+
+
+@dataclass
+class HeadMouseScroller(ScrollingTechnique):
+    """First-order head-tilt scrolling with dwell selection.
+
+    Parameters
+    ----------
+    max_rate_entries_s:
+        Cruise scroll velocity at a fresh, comfortable head tilt.
+    ramp_time_s:
+        Time to tilt the head from neutral to cruise (and back).
+    stop_sigma_entries_per_rate:
+        Stopping error std per entries/s of approach velocity.
+    dwell_click_s:
+        Dwell time required to activate the highlighted entry.
+    fatigue_trials:
+        Trials until neck fatigue saturates.
+    fatigue_rate_penalty:
+        Fraction of the cruise rate lost at full fatigue.
+    fatigue_sigma_penalty:
+        Fractional stopping-error increase at full fatigue.
+    dropout_p:
+        Per-pass chance of a tracker dropout inside a fault window.
+    dropout_recovery_s:
+        Re-center time after a dropout.
+    """
+
+    name: str = "headmouse"
+    one_handed: bool = True  # hands-free, in fact
+    glove_compatible: bool = True
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="headmouse",
+        title="HEAD-MOUSE optical head-tilt control",
+        citation=(
+            "HeydariGorji, Safavi, Lee, Chou — HEAD-MOUSE: A simple "
+            "cursor controller based on optical measurement of head "
+            "tilt (PAPERS.md, arXiv 2006.13503)"
+        ),
+        input_model=(
+            "Optical measurement of head tilt (camera tracking the "
+            "face); no hand contact at all, selection by dwell."
+        ),
+        transfer_function=(
+            "Rate control: head-tilt angle sets scroll velocity, with "
+            "neck fatigue decaying the comfortable rate and widening "
+            "the stopping error as the session wears on."
+        ),
+        control_order="rate",
+        fault_surfaces=("tracker-dropout",),
+    )
+    max_rate_entries_s: float = 6.0
+    ramp_time_s: float = 0.35
+    stop_sigma_entries_per_rate: float = 0.18
+    dwell_click_s: float = 0.50
+    fatigue_trials: float = 40.0
+    fatigue_rate_penalty: float = 0.35
+    fatigue_sigma_penalty: float = 0.60
+    dropout_p: float = 0.35
+    dropout_recovery_s: float = 0.80
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Tilt the head toward the target, brake, correct, dwell."""
+        trial_index = self._begin_trial()
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        trial = TechniqueTrial(duration_s=0.0)
+        trial.index_of_difficulty = index_of_difficulty(
+            max(abs(target_index - start_index), 1e-6) + 1e-9, 1.0
+        )
+        fatigue = min(1.0, trial_index / self.fatigue_trials)
+        cruise = self.max_rate_entries_s * (
+            1.0 - fatigue * self.fatigue_rate_penalty
+        )
+        sigma_scale = 1.0 + fatigue * self.fatigue_sigma_penalty
+        dropouts = self.fault_active("tracker-dropout", trial_index)
+
+        duration = self._lognormal(self.t.reaction_s)
+        position = float(start_index)
+        passes = 0
+        while round(position) != target_index:
+            passes += 1
+            distance = abs(target_index - position)
+            rate = min(cruise, max(distance * 1.5, 1.0))
+            travel_time = 2 * self.ramp_time_s + distance / rate
+            duration += self._lognormal(travel_time, 0.10)
+            trial.operations += 1
+            if dropouts and self.rng.random() < self.dropout_p:
+                # Tracker lost the face mid-approach: re-center and
+                # restart the pass from wherever the list stopped.
+                duration += self._lognormal(self.dropout_recovery_s, 0.2)
+                trial.operations += 1
+            sigma = self.stop_sigma_entries_per_rate * rate * sigma_scale
+            landing = target_index + self.rng.normal(0.0, sigma)
+            position = max(0.0, min(landing, float(n_entries - 1)))
+            if round(position) != target_index:
+                trial.errors += 1
+                duration += self._lognormal(self.t.reaction_s)
+            if passes > 20:
+                position = float(target_index)  # creep in entry-wise
+                duration += self._lognormal(self.t.reaction_s) * distance
+        # Dwell-to-click: verify, then hold the highlight still.
+        duration += self._lognormal(self.t.verify_dwell_s, 0.2)
+        duration += self._lognormal(self.dwell_click_s, 0.08)
+        trial.operations += 1
+        trial.duration_s = duration
+        return trial

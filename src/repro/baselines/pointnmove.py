@@ -1,0 +1,149 @@
+"""Glove-based pointing (Point n Move) through the technique interface.
+
+Dy et al.'s *Point n Move* glove (PAPERS.md) senses per-finger flexion
+with resistive flex sensors whose voltages are digitized by a
+microcontroller ADC — the same 10-bit front end the DistScroll board
+uses, so the model runs its finger channel through
+:class:`repro.hardware.adc.ADC`.  Pointing is zero-order: index-finger
+flexion maps linearly onto the list, so reaches follow Fitts' law, and
+the ADC's quantization floors the effective target width on long lists
+(few codes per entry → more correction passes).
+
+Selection is a thumb-to-index pinch.  The model's fault surface is
+``grip-loss``: the sensor glove shifting on the hand mid-session, which
+costs a re-grip per trial, widens the endpoint spread, and occasionally
+turns a pinch into a wrong activation.  Inside a fault window the
+technique degrades gracefully — slower and sloppier, never raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
+from repro.hardware.adc import ADC, ADCParams
+from repro.interaction.fitts import index_of_difficulty, movement_time
+
+__all__ = ["PointNMoveScroller"]
+
+
+@dataclass
+class PointNMoveScroller(ScrollingTechnique):
+    """Flex-sensor glove pointing with pinch-to-select.
+
+    Parameters
+    ----------
+    flex_v_min, flex_v_max:
+        Usable flex-sensor voltage span mapped over the list.
+    fitts_a, fitts_b:
+        Pointing parameters for finger flexion (a practiced, small-range
+        movement — slightly better intercept than an arm reach).
+    endpoint_sigma_frac:
+        Endpoint spread as a fraction of one entry's voltage slot.
+    regrip_time_s:
+        Time to re-form the grip when the glove has shifted.
+    grip_loss_sigma_factor:
+        Endpoint-spread multiplier inside a ``grip-loss`` window.
+    grip_loss_error_p:
+        Chance a degraded pinch activates the wrong entry.
+    """
+
+    name: str = "pointnmove"
+    one_handed: bool = True
+    glove_compatible: bool = False  # the sensor glove replaces work gloves
+    body_attached: bool = True
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="pointnmove",
+        title="Point n Move glove pointing",
+        citation=(
+            "Dy et al. — Point n Move: Designing a Glove-Based Pointing "
+            "Device (PAPERS.md, arXiv 2412.00501)"
+        ),
+        input_model=(
+            "Per-finger resistive flex sensors on a sensor glove, each "
+            "digitized by the 10-bit ADC front end; the index-finger "
+            "channel drives list position, a thumb pinch selects."
+        ),
+        transfer_function=(
+            "Position control: finger flexion maps linearly onto the "
+            "list, so reaches follow Fitts' law; ADC quantization "
+            "floors the effective target width, costing correction "
+            "passes on long lists."
+        ),
+        control_order="position",
+        fault_surfaces=("grip-loss",),
+    )
+    flex_v_min: float = 0.6
+    flex_v_max: float = 4.4
+    fitts_a: float = 0.12
+    fitts_b: float = 0.16
+    endpoint_sigma_frac: float = 0.26
+    regrip_time_s: float = 0.55
+    grip_loss_sigma_factor: float = 1.8
+    grip_loss_error_p: float = 0.15
+    adc_params: ADCParams = field(default_factory=ADCParams)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._adc = ADC(params=self.adc_params, rng=self.rng)
+        self._flex_v = 0.0
+        self._adc.attach(0, lambda _t: self._flex_v)
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Flex to the target's position, correct, pinch to select."""
+        trial_index = self._begin_trial()
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        trial = TechniqueTrial(duration_s=0.0)
+        span_v = self.flex_v_max - self.flex_v_min
+        slot_v = span_v / n_entries
+        # Quantization floors the effective width: below ~2 codes per
+        # entry the converter, not the finger, limits precision.
+        width_v = max(slot_v * 0.8, 2.0 * self._adc.params.lsb_volts)
+        distance_v = abs(target_index - start_index) * slot_v
+        trial.index_of_difficulty = index_of_difficulty(
+            max(distance_v, 1e-6) + 1e-9, width_v
+        )
+        duration = self._lognormal(self.t.reaction_s)
+
+        degraded = self.fault_active("grip-loss", trial_index)
+        sigma_v = slot_v * self.endpoint_sigma_frac * self.glove.tremor_factor
+        if degraded:
+            # The glove shifted: re-form the grip before pointing.
+            duration += self._lognormal(
+                self.regrip_time_s * self.glove.dexterity_time_factor, 0.2
+            )
+            trial.operations += 1
+            sigma_v *= self.grip_loss_sigma_factor
+
+        target_v = self.flex_v_min + target_index * slot_v
+        position_v = self.flex_v_min + start_index * slot_v
+        for _ in range(12):
+            move_v = max(abs(target_v - position_v), 0.01)
+            mt = movement_time(self.fitts_a, self.fitts_b, move_v, width_v)
+            mt *= self.glove.movement_time_factor
+            duration += self._lognormal(max(mt, 0.10), 0.10)
+            trial.operations += 1
+            self._flex_v = target_v + self.rng.normal(0.0, sigma_v)
+            code = self._adc.sample(0.0, 0)
+            position_v = code * self._adc.params.lsb_volts
+            landed = int(round((position_v - self.flex_v_min) / slot_v))
+            landed = max(0, min(landed, n_entries - 1))
+            if landed == target_index:
+                break
+            # Off-slot landings are corrections, not activations.
+            duration += self._lognormal(self.t.reaction_s)
+        duration += self._confirm_selection(trial)
+        if degraded and self.rng.random() < self.grip_loss_error_p:
+            # The pinch tugged the shifted glove: wrong activation.
+            trial.errors += 1
+            duration += self._lognormal(self.t.reaction_s) + self._press(trial)
+        trial.duration_s = duration
+        return trial

@@ -1,0 +1,161 @@
+"""Pressure-sensitive touchpad scrolling (Haubold) — force-to-rate control.
+
+Haubold's lighting-control work (PAPERS.md) drives continuous values
+from *pressure levels* on force-sensitive resistor pads: press harder,
+change faster.  As a scrolling technique that is isometric first-order
+control — the finger never moves, force sets the scroll rate — with the
+FSR voltage digitized by the same 10-bit ADC front end as the
+DistScroll sensor, then bucketed into a handful of discrete rate levels
+(Haubold's pads distinguish only a few force bands reliably).
+
+Force is hard to modulate precisely, and thick gloves make it harder:
+the model adds force noise scaled by the glove's ``touch_error_factor``,
+so the selected rate level can jitter a band up or down.  The fault
+surface is ``pad-stuck``: a stuck FSR reading keeps the list scrolling
+after release, overshooting the target until the user notices and
+recovers.  Inside a window the technique degrades gracefully — never
+raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
+from repro.hardware.adc import ADC, ADCParams
+from repro.interaction.fitts import index_of_difficulty
+
+__all__ = ["PressurePadScroller"]
+
+
+@dataclass
+class PressurePadScroller(ScrollingTechnique):
+    """Isometric force-to-rate scrolling on a pressure pad.
+
+    Parameters
+    ----------
+    rate_levels:
+        Discrete force bands the pad resolves; band *k* of *n* scrolls
+        at ``k/n`` of :attr:`max_rate_entries_s`.
+    max_rate_entries_s:
+        Scroll velocity at full force.
+    press_settle_s:
+        Time to find and settle on a force band.
+    stop_sigma_entries_per_rate:
+        Stopping error std per entries/s of approach velocity.
+    force_noise_frac:
+        Force-control noise as a fraction of one band's voltage width
+        (multiplied by the glove's ``touch_error_factor``).
+    stuck_p:
+        Per-pass chance a ``pad-stuck`` window turns a release into a
+        runaway scroll.
+    stuck_overshoot_entries:
+        Mean entries overrun before a stuck pad is caught.
+    """
+
+    name: str = "pressurepad"
+    one_handed: bool = True  # thumb on a pad, device in the same hand
+    glove_compatible: bool = False  # force modulation needs tactile feel
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="pressurepad",
+        title="Haubold pressure-sensitive touchpad",
+        citation=(
+            "Haubold — Lighting Control using Pressure-Sensitive "
+            "Touchpads (PAPERS.md, arXiv cs/0601021)"
+        ),
+        input_model=(
+            "Force-sensitive resistor pad; the FSR voltage is "
+            "digitized by the 10-bit ADC front end and bucketed into a "
+            "few discrete force bands."
+        ),
+        transfer_function=(
+            "Isometric rate control: finger force sets scroll "
+            "velocity band; force noise (worse under gloves) jitters "
+            "the selected band, and releasing leaves a rate-"
+            "proportional stopping error."
+        ),
+        control_order="rate",
+        fault_surfaces=("pad-stuck",),
+    )
+    rate_levels: int = 6
+    max_rate_entries_s: float = 8.0
+    press_settle_s: float = 0.22
+    stop_sigma_entries_per_rate: float = 0.15
+    force_noise_frac: float = 0.30
+    stuck_p: float = 0.40
+    stuck_overshoot_entries: float = 3.0
+    adc_params: ADCParams = field(default_factory=ADCParams)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._adc = ADC(params=self.adc_params, rng=self.rng)
+        self._force_v = 0.0
+        self._adc.attach(0, lambda _t: self._force_v)
+
+    def select(
+        self, start_index: int, target_index: int, n_entries: int
+    ) -> TechniqueTrial:
+        """Press to a force band, ride the rate, release, correct."""
+        trial_index = self._begin_trial()
+        if not 0 <= target_index < n_entries:
+            raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
+        trial = TechniqueTrial(duration_s=0.0)
+        trial.index_of_difficulty = index_of_difficulty(
+            max(abs(target_index - start_index), 1e-6) + 1e-9, 1.0
+        )
+        stuck_window = self.fault_active("pad-stuck", trial_index)
+        v_ref = self._adc.params.v_ref
+        band_v = v_ref / self.rate_levels
+        noise_v = band_v * self.force_noise_frac * self.glove.touch_error_factor
+
+        duration = self._lognormal(self.t.reaction_s)
+        position = float(start_index)
+        passes = 0
+        while round(position) != target_index:
+            passes += 1
+            distance = abs(target_index - position)
+            wanted = min(
+                self.max_rate_entries_s, max(distance * 1.4, 1.0)
+            )
+            # Aim for the force band of the wanted rate; the pad reads
+            # back whatever band the noisy force lands in.
+            level_aim = max(
+                1, round(wanted / self.max_rate_entries_s * self.rate_levels)
+            )
+            self._force_v = level_aim * band_v + self.rng.normal(0.0, noise_v)
+            code = self._adc.sample(0.0, 0)
+            level = int(code / self._adc.params.max_code * self.rate_levels)
+            level = max(1, min(level, self.rate_levels))
+            rate = level / self.rate_levels * self.max_rate_entries_s
+            duration += self._lognormal(
+                self.press_settle_s * self.glove.dexterity_time_factor, 0.15
+            )
+            duration += self._lognormal(distance / rate, 0.10)
+            trial.operations += 1
+            sigma = self.stop_sigma_entries_per_rate * rate
+            landing = target_index + self.rng.normal(0.0, sigma)
+            if stuck_window and self.rng.random() < self.stuck_p:
+                # Stuck FSR: the list keeps scrolling after release.
+                overrun = self._lognormal(self.stuck_overshoot_entries, 0.4)
+                landing += overrun if target_index >= position else -overrun
+                trial.errors += 1
+                duration += self._lognormal(self.dwell_recovery_s(), 0.2)
+            position = max(0.0, min(landing, float(n_entries - 1)))
+            if round(position) != target_index:
+                trial.errors += 1
+                duration += self._lognormal(self.t.reaction_s)
+            if passes > 20:
+                position = float(target_index)  # nudge in band-1 creeps
+                duration += self._lognormal(self.t.keypress_s) * distance
+        duration += self._confirm_selection(trial)
+        trial.duration_s = duration
+        return trial
+
+    def dwell_recovery_s(self) -> float:
+        """Mean time to notice and stop a runaway (stuck-pad) scroll."""
+        return self.t.reaction_s + 0.45

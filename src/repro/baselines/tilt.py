@@ -16,8 +16,13 @@ to position control for short, precise movements).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
-from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
 from repro.interaction.fitts import index_of_difficulty
 
 __all__ = ["TiltScroller"]
@@ -40,6 +45,24 @@ class TiltScroller(ScrollingTechnique):
     name: str = "tilt"
     one_handed: bool = True
     glove_compatible: bool = True  # wrist motion, no fine touch needed
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="tilt",
+        title="Tilt-based rate control",
+        citation=(
+            "Rock'n'Scroll / TiltText family (DistScroll §2 refs "
+            "[2], [11], [17])"
+        ),
+        input_model=(
+            "Device tilt angle from an accelerometer (the board's "
+            "ADXL311 class of sensor), sampled continuously."
+        ),
+        transfer_function=(
+            "Rate control: tilt angle sets scroll velocity; braking "
+            "leaves a stopping error proportional to approach speed, "
+            "and reading a tilted display costs an extra beat."
+        ),
+        control_order="rate",
+    )
     max_rate_entries_s: float = 7.0
     ramp_time_s: float = 0.30
     stop_sigma_entries_per_rate: float = 0.16
@@ -48,6 +71,7 @@ class TiltScroller(ScrollingTechnique):
         self, start_index: int, target_index: int, n_entries: int
     ) -> TechniqueTrial:
         """Tilt toward the target, brake, correct, select."""
+        self._begin_trial()
         if not 0 <= target_index < n_entries:
             raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
         trial = TechniqueTrial(duration_s=0.0)

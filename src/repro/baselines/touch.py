@@ -15,8 +15,13 @@ fastest bare-handed — matching everyday experience.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
-from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
 from repro.interaction.fitts import index_of_difficulty, movement_time
 
 __all__ = ["TouchScroller"]
@@ -41,6 +46,24 @@ class TouchScroller(ScrollingTechnique):
     name: str = "touch"
     one_handed: bool = False  # device in one hand, stylus/finger in other
     glove_compatible: bool = False
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="touch",
+        title="Touch/stylus flick-and-tap",
+        citation=(
+            "PDA touch/stylus input, the paper's motivating contrast "
+            "(DistScroll §1)"
+        ),
+        input_model=(
+            "Capacitive/resistive touch position; drag flicks scroll "
+            "the view, a final tap lands on a ~4 mm list row."
+        ),
+        transfer_function=(
+            "Flicks advance the view a page at a time (discrete rate "
+            "bursts); the activation tap is a Fitts pointing task whose "
+            "endpoint spread the glove's touch_error_factor inflates."
+        ),
+        control_order="position",
+    )
     rows_per_flick: int = 5
     flick_time_s: float = 0.24
     row_height_mm: float = 4.0
@@ -50,6 +73,7 @@ class TouchScroller(ScrollingTechnique):
         self, start_index: int, target_index: int, n_entries: int
     ) -> TechniqueTrial:
         """Flick until the target is on screen, then tap it."""
+        self._begin_trial()
         if not 0 <= target_index < n_entries:
             raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
         trial = TechniqueTrial(duration_s=0.0)

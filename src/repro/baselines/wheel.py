@@ -14,8 +14,13 @@ is a fine-motor act that thick gloves slow dramatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
-from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
 from repro.interaction.fitts import index_of_difficulty
 
 __all__ = ["WheelScroller"]
@@ -39,6 +44,21 @@ class WheelScroller(ScrollingTechnique):
     one_handed: bool = False  # the TUISTER needs the second hand
     glove_compatible: bool = False  # fine finger rotation
     mechanical_parts: bool = True
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="wheel",
+        title="Rotary jog wheel (TUISTER-style)",
+        citation="TUISTER tangible UI (DistScroll §2 ref [3])",
+        input_model=(
+            "Mechanical detent encoder; fingers rotate one device half "
+            "against the other, one detent per list entry."
+        ),
+        transfer_function=(
+            "Position control, one entry per detent, with clutching "
+            "(re-grasp) every few detents; thick gloves slow each "
+            "fine-motor detent and add slip corrections."
+        ),
+        control_order="position",
+    )
     detent_time_s: float = 0.07
     detents_per_grasp: int = 8
     clutch_time_s: float = 0.35
@@ -47,6 +67,7 @@ class WheelScroller(ScrollingTechnique):
         self, start_index: int, target_index: int, n_entries: int
     ) -> TechniqueTrial:
         """Turn the wheel detent by detent (clutching as needed), select."""
+        self._begin_trial()
         if not 0 <= target_index < n_entries:
             raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
         trial = TechniqueTrial(duration_s=0.0)

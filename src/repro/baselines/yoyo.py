@@ -16,8 +16,13 @@ the device itself*, which can yank the pull distance off target.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
-from repro.baselines.base import ScrollingTechnique, TechniqueTrial
+from repro.baselines.base import (
+    ScrollingTechnique,
+    TechniqueInfo,
+    TechniqueTrial,
+)
 from repro.interaction.fitts import index_of_difficulty, movement_time
 
 __all__ = ["YoYoScroller"]
@@ -45,6 +50,22 @@ class YoYoScroller(ScrollingTechnique):
     glove_compatible: bool = True
     mechanical_parts: bool = True
     body_attached: bool = True
+    info: ClassVar[TechniqueInfo] = TechniqueInfo(
+        key="yoyo",
+        title="YoYo pull-string scrolling",
+        citation="Rantanen et al. YoYo interface (DistScroll §2 ref [9])",
+        input_model=(
+            "Spring-retracting cord attached to the garment; pulling "
+            "turns a wheel whose rotation encodes the pull distance."
+        ),
+        transfer_function=(
+            "Position control: pull distance maps linearly onto the "
+            "list, so reaches follow Fitts' law; pressing the device to "
+            "select can tug the cord off target, and the mechanism can "
+            "jam."
+        ),
+        control_order="position",
+    )
     pull_range_cm: float = 25.0
     fitts_a: float = 0.14
     fitts_b: float = 0.17
@@ -55,6 +76,7 @@ class YoYoScroller(ScrollingTechnique):
         self, start_index: int, target_index: int, n_entries: int
     ) -> TechniqueTrial:
         """Pull the cord to the target's position and press to select."""
+        self._begin_trial()
         if not 0 <= target_index < n_entries:
             raise ValueError(f"target {target_index} outside 0..{n_entries - 1}")
         trial = TechniqueTrial(duration_s=0.0)

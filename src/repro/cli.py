@@ -18,7 +18,11 @@ Commands
                            pool, workqueue).  For STUDY1, ``--users N``
                            switches to the population-scale persona
                            study (streaming aggregation, O(1) memory,
-                           byte-identical for any job count);
+                           byte-identical for any job count); for
+                           ARENA, ``--users/--personas/--battery``
+                           reshape the cross-technique tournament the
+                           same way (``--personas``/``--battery`` work
+                           without ``--users`` there);
                            ``--resume`` continues an interrupted run
                            from its shard cache and manifest,
                            recomputing only the missing shards, and
@@ -184,10 +188,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     users = getattr(args, "users", None)
     personas = getattr(args, "personas", None)
     battery_name = getattr(args, "battery", None)
-    if users is None and (personas is not None or battery_name is not None):
+    population = (
+        users is not None or personas is not None or battery_name is not None
+    )
+    if (
+        users is None
+        and (personas is not None or battery_name is not None)
+        and experiment_id != "ARENA"
+    ):
         print(
             "--personas/--battery only apply to population runs; "
-            "add --users N",
+            "add --users N (ARENA accepts them without --users)",
             file=sys.stderr,
         )
         return 2
@@ -211,21 +222,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 / "manifests"
                 / f"{experiment_id}-seed{args.seed}.json"
             )
-    if users is not None:
-        if experiment_id != "STUDY1":
+    if population:
+        if experiment_id not in ("STUDY1", "ARENA"):
             print(
-                "--users is only meaningful for STUDY1",
+                "--users is only meaningful for STUDY1 or ARENA",
                 file=sys.stderr,
             )
             return 2
         from repro.runner import run_experiments
-        from repro.runner.registry import scaled_user_study_spec
+        from repro.runner.registry import arena_spec, scaled_user_study_spec
 
-        spec = scaled_user_study_spec(
-            users,
-            personas=personas or "full",
-            battery=battery_name or "scrolltest",
-        )
+        if experiment_id == "ARENA":
+            default_users = dict(REGISTRY["ARENA"].params)["n_users"]
+            spec = arena_spec(
+                users if users is not None else default_users,
+                personas=personas or "full",
+                battery=battery_name or "scrolltest",
+            )
+        else:
+            spec = scaled_user_study_spec(
+                users,
+                personas=personas or "full",
+                battery=battery_name or "scrolltest",
+            )
         results, _bench = run_experiments(
             [experiment_id],
             seed=args.seed,
@@ -854,22 +873,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="STUDY1 only: run the population-scale persona study with "
-        "N simulated users (streaming aggregation, O(1) memory; "
-        "byte-identical for any --jobs value)",
+        help="STUDY1/ARENA: run the population-scale persona study (or "
+        "technique arena) with N simulated users (streaming "
+        "aggregation, O(1) memory; byte-identical for any --jobs "
+        "value)",
     )
     run_parser.add_argument(
         "--personas",
         default=None,
         metavar="SPEC",
-        help="persona population spec for --users: 'full', 'bare', or "
-        "'dim=v1,v2;...' restrictions (e.g. 'glove=winter,arctic')",
+        help="persona population spec for --users (or ARENA): 'full', "
+        "'bare', or 'dim=v1,v2;...' restrictions "
+        "(e.g. 'glove=winter,arctic')",
     )
     run_parser.add_argument(
         "--battery",
         default=None,
         metavar="NAME",
-        help="task battery for --users (default 'scrolltest')",
+        help="task battery for --users (or ARENA; default 'scrolltest')",
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -1,6 +1,7 @@
 """Experiment harness: one module per DESIGN.md experiment id."""
 
 from repro.experiments.ablation_mapping import run_ablation_mapping
+from repro.experiments.arena import run_arena
 from repro.experiments.breadth import build_uniform_tree, run_breadth
 from repro.experiments.calibration_ablation import run_calibration_ablation
 from repro.experiments.direction import run_direction
@@ -29,6 +30,7 @@ from repro.experiments.user_study import run_user_study
 __all__ = [
     "ExperimentResult",
     "run_ablation_mapping",
+    "run_arena",
     "build_uniform_tree",
     "run_breadth",
     "run_calibration_ablation",

@@ -318,6 +318,26 @@ def _user_study_throughput(quick: bool) -> Callable[[], int]:
     return workload
 
 
+def _technique_arena(quick: bool) -> Callable[[], int]:
+    """Arena tournament participants per second (the ARENA shard path).
+
+    Times :func:`repro.experiments.arena.run_arena_block` — persona
+    derivation, one session per registered technique over the ScrollTest
+    battery, scheduled fault windows, and the streaming fold into an
+    :class:`~repro.experiments.arena.ArenaAggregate` — exactly the
+    per-shard work of ``repro run ARENA --users N``.
+    """
+    from repro.experiments.arena import run_arena_block
+
+    users = 8 if quick else 48
+
+    def workload() -> int:
+        aggregate = run_arena_block(0, 0, users)
+        return aggregate.n_users
+
+    return workload
+
+
 def _runner_fanout(quick: bool) -> Callable[[], tuple[int, dict]]:
     """Skewed shard fan-out through the work-queue runner backend.
 
@@ -376,6 +396,7 @@ BENCHMARKS: dict[str, tuple[Callable[[bool], Workload], str]] = {
     "device-second-observed": (_device_second_observed, "events"),
     "device-second-batched": (_device_second_batched, "device-ticks"),
     "user-study-throughput": (_user_study_throughput, "users"),
+    "technique-arena": (_technique_arena, "users"),
     "runner-fanout": (_runner_fanout, "iterations"),
 }
 

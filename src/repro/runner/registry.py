@@ -53,6 +53,7 @@ __all__ = [
     "build_runner",
     "resolve_entry",
     "scaled_user_study_spec",
+    "arena_spec",
 ]
 
 
@@ -257,6 +258,26 @@ REGISTRY: Dict[str, ExperimentSpec] = dict(
             ),
             users_per_shard=128,
         ),
+        _spec(
+            "ARENA",
+            "repro.experiments.arena:run_arena",
+            params=(
+                ("n_users", 16),
+                ("personas", "full"),
+                ("battery", "scrolltest"),
+                ("fault_every", 4),
+            ),
+            sharder="userblocks",
+            user_entry="repro.experiments.arena:run_arena_block",
+            aggregate_entry="repro.experiments.arena:finalize_arena",
+            aggregate_params=(
+                "n_users",
+                "personas",
+                "battery",
+                "fault_every",
+            ),
+            users_per_shard=4,
+        ),
     )
 )
 
@@ -290,6 +311,40 @@ def scaled_user_study_spec(
         user_entry="repro.experiments.user_study:run_user_block",
         aggregate_entry="repro.experiments.user_study:finalize_scaled_study",
         aggregate_params=("n_users", "personas", "battery"),
+        users_per_shard=users_per_shard,
+    )
+
+
+def arena_spec(
+    n_users: int,
+    personas: str = "full",
+    battery: str = "scrolltest",
+    users_per_shard: int = 4,
+    fault_every: int = 4,
+) -> ExperimentSpec:
+    """A dynamic ARENA spec for ``repro run ARENA --users N``.
+
+    Like :func:`scaled_user_study_spec`, this lives outside
+    :data:`REGISTRY` (the population size, persona spec and battery are
+    CLI decisions) and is passed to the runner via ``overrides``.
+    """
+    if n_users < 1:
+        raise ValueError("n_users must be >= 1")
+    if users_per_shard < 1:
+        raise ValueError("users_per_shard must be >= 1")
+    return ExperimentSpec(
+        experiment_id="ARENA",
+        entry="repro.experiments.arena:run_arena",
+        params=(
+            ("n_users", n_users),
+            ("personas", personas),
+            ("battery", battery),
+            ("fault_every", fault_every),
+        ),
+        sharder="userblocks",
+        user_entry="repro.experiments.arena:run_arena_block",
+        aggregate_entry="repro.experiments.arena:finalize_arena",
+        aggregate_params=("n_users", "personas", "battery", "fault_every"),
         users_per_shard=users_per_shard,
     )
 

@@ -30,6 +30,7 @@ __all__ = [
     "TRIAL_STREAM",
     "BATCH_STREAM",
     "SHARD_STREAM",
+    "ARENA_STREAM",
     "STREAM_DOMAINS",
     "is_registered_domain",
 ]
@@ -57,6 +58,14 @@ BATCH_STREAM = 0xBA7C
 #: so retries reuse this domain with the same trailing key.
 SHARD_STREAM = 0x5A8D
 
+#: Per-(user, technique) trial streams of the technique arena
+#: (`repro.experiments.arena`): participant ``u`` running technique
+#: ``t`` (index in the canonical roster) draws every trial from
+#: ``(seed, ARENA_STREAM, u, t)``, so dropping techniques from a run
+#: never perturbs the remaining techniques' bits and any block
+#: partition of the population merges byte-identically.
+ARENA_STREAM = 0xA12A
+
 #: Every declared domain tag, value -> constant name.  ``repro lint``
 #: (REP006) rejects spawn-key tuples whose first element is not one of
 #: these constants, and rejects duplicate values.
@@ -65,6 +74,7 @@ STREAM_DOMAINS: dict[int, str] = {
     TRIAL_STREAM: "TRIAL_STREAM",
     BATCH_STREAM: "BATCH_STREAM",
     SHARD_STREAM: "SHARD_STREAM",
+    ARENA_STREAM: "ARENA_STREAM",
 }
 
 

@@ -1,0 +1,160 @@
+"""Tests for the ARENA cross-technique tournament.
+
+The guarantees under test:
+
+* **Block-partition invariance** — any partition of the population into
+  ``run_arena_block`` calls merges to byte-identical
+  :meth:`ArenaAggregate.snapshot` JSON, which is what makes
+  ``--jobs 1 == --jobs N`` hold by construction.
+* **Roster-indexed streams** — a subset run replays exactly the bits a
+  full tournament gives those techniques.
+* **The leaderboard contract** — ranked by the composite score, one row
+  per technique, fault-degradation and per-scenario notes present.
+* **Registry + CLI wiring** — the ARENA spec shards by userblocks and
+  the CLI accepts ``--users/--personas/--battery`` without extra flags.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.arena import (
+    ARENA_ROSTER,
+    arena_fault_window,
+    finalize_arena,
+    run_arena,
+    run_arena_block,
+)
+from repro.runner.registry import REGISTRY, arena_spec
+
+
+def _snapshot_bytes(aggregate):
+    return json.dumps(aggregate.snapshot(), sort_keys=True)
+
+
+class TestBlockInvariance:
+    def test_any_partition_merges_byte_identical(self):
+        whole = run_arena_block(0, 0, 6, battery="smoke")
+        for cuts in ([(0, 2), (2, 3), (5, 1)], [(0, 1), (1, 5)]):
+            parts = [
+                run_arena_block(0, start, count, battery="smoke")
+                for start, count in cuts
+            ]
+            merged = parts[0]
+            for part in parts[1:]:
+                merged = merged.merge(part)
+            assert _snapshot_bytes(merged) == _snapshot_bytes(whole)
+
+    def test_shard_width_never_changes_the_result(self):
+        wide = run_arena(seed=3, n_users=6, battery="smoke", users_per_shard=6)
+        narrow = run_arena(
+            seed=3, n_users=6, battery="smoke", users_per_shard=2
+        )
+        assert wide.rows == narrow.rows
+        assert wide.notes == narrow.notes
+
+    def test_subset_replays_full_run_bits(self):
+        """Dropping techniques never perturbs the survivors' streams."""
+        full = run_arena_block(1, 0, 4, battery="smoke")
+        subset = run_arena_block(
+            1, 0, 4, battery="smoke", techniques=("yoyo",)
+        )
+        t = full.techniques.index("yoyo")
+        full_yoyo = [cell.snapshot() for cell in full.stats[t]]
+        sub_yoyo = [cell.snapshot() for cell in subset.stats[0]]
+        assert json.dumps(full_yoyo, sort_keys=True) == json.dumps(
+            sub_yoyo, sort_keys=True
+        )
+
+    def test_layout_mismatch_refused(self):
+        smoke = run_arena_block(0, 0, 1, battery="smoke")
+        yoyo_only = run_arena_block(0, 1, 1, battery="smoke",
+                                    techniques=("yoyo",))
+        with pytest.raises(ValueError):
+            smoke.merge(yoyo_only)
+
+
+class TestLeaderboard:
+    def test_ranked_by_score_over_full_roster(self):
+        result = run_arena(seed=0, n_users=4, battery="smoke")
+        assert result.columns[:3] == ("rank", "technique", "score")
+        scores = [row[2] for row in result.rows]
+        assert scores == sorted(scores)
+        assert [row[0] for row in result.rows] == list(
+            range(1, len(ARENA_ROSTER) + 1)
+        )
+        assert {row[1] for row in result.rows} == set(ARENA_ROSTER)
+
+    def test_fault_cohort_lands_in_notes(self):
+        result = run_arena(seed=0, n_users=4, battery="smoke", fault_every=2)
+        assert any("grip-loss" in note for note in result.notes)
+        assert any("never failed" in note for note in result.notes)
+
+    def test_fault_free_run_has_no_degradation_notes(self):
+        result = run_arena(seed=0, n_users=3, battery="smoke", fault_every=0)
+        assert not any("never failed" in note for note in result.notes)
+
+    def test_user_count_mismatch_rejected(self):
+        aggregate = run_arena_block(0, 0, 2, battery="smoke")
+        with pytest.raises(ValueError):
+            finalize_arena([aggregate], 3, battery="smoke")
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError):
+            run_arena_block(0, 0, 1, techniques=("warpdrive",))
+
+    def test_duplicate_technique_rejected(self):
+        with pytest.raises(ValueError):
+            run_arena_block(0, 0, 1, techniques=("yoyo", "yoyo"))
+
+
+class TestFaultPlan:
+    def test_window_covers_the_middle_third(self):
+        (fault,) = arena_fault_window("pointnmove", 12)
+        assert fault.kind == "grip-loss"
+        assert (fault.start_trial, fault.end_trial) == (4, 8)
+
+    def test_idealized_techniques_get_no_window(self):
+        assert arena_fault_window("buttons", 12) == ()
+
+    def test_tiny_sessions_still_get_a_nonempty_window(self):
+        (fault,) = arena_fault_window("headmouse", 2)
+        assert fault.end_trial > fault.start_trial
+
+
+class TestRegistryAndCLI:
+    def test_registry_entry_shards_by_userblocks(self):
+        spec = REGISTRY["ARENA"]
+        assert spec.sharder == "userblocks"
+        assert spec.user_entry == "repro.experiments.arena:run_arena_block"
+        assert (
+            spec.aggregate_entry == "repro.experiments.arena:finalize_arena"
+        )
+
+    def test_arena_spec_scales_the_population(self):
+        spec = arena_spec(32, battery="smoke", users_per_shard=8)
+        params = dict(spec.params)
+        assert params["n_users"] == 32
+        assert params["battery"] == "smoke"
+        assert spec.users_per_shard == 8
+
+    def test_cli_jobs_parity(self, tmp_path, capsys):
+        serial = tmp_path / "serial.csv"
+        sharded = tmp_path / "sharded.csv"
+        assert main([
+            "run", "ARENA", "--users", "4", "--battery", "smoke",
+            "--csv", str(serial),
+        ]) == 0
+        assert main([
+            "run", "ARENA", "--users", "4", "--battery", "smoke",
+            "--jobs", "2", "--csv", str(sharded),
+        ]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == sharded.read_bytes()
+
+    def test_cli_arena_accepts_battery_without_users(self, capsys):
+        assert main(["run", "ARENA", "--battery", "smoke"]) == 0
+        assert "ARENA" in capsys.readouterr().out

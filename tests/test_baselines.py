@@ -9,13 +9,25 @@ from repro.baselines import (
     ALL_TECHNIQUES,
     ButtonScroller,
     DistScrollTechnique,
+    HeadMouseScroller,
     OperatorTimes,
+    PointNMoveScroller,
+    PressurePadScroller,
+    TechniqueFault,
+    TechniqueInfo,
     TiltScroller,
     TouchScroller,
     WheelScroller,
     YoYoScroller,
 )
 from repro.interaction.gloves import GLOVES
+
+#: The techniques that declare a fault seam, with their first surface.
+FAULT_SURFACES = {
+    "pointnmove": "grip-loss",
+    "headmouse": "tracker-dropout",
+    "pressurepad": "pad-stuck",
+}
 
 
 def _mean_time(technique, pairs, n_entries):
@@ -169,6 +181,170 @@ class TestDistScrollTechnique:
             [technique.select(0, 19, 20).duration_s for _ in range(4)]
         )
         assert far / near < 4.0
+
+
+class TestTechniqueRegistry:
+    """Registry completeness: no technique ships undocumented."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_TECHNIQUES))
+    def test_every_technique_documents_itself(self, name):
+        info = ALL_TECHNIQUES[name].info
+        assert isinstance(info, TechniqueInfo), name
+        assert info.key == name  # registry key and metadata key agree
+        assert info.title
+        assert info.citation
+        assert info.input_model
+        assert info.transfer_function
+        assert info.control_order in ("position", "rate")
+        assert isinstance(info.fault_surfaces, tuple)
+
+    def test_related_work_roster_complete(self):
+        """The PAPERS.md retrievals joined the Related Work baselines."""
+        expected = {
+            "buttons", "tilt", "wheel", "yoyo", "touch",
+            "pointnmove", "headmouse", "pressurepad", "distscroll",
+        }
+        assert set(ALL_TECHNIQUES) == expected
+
+    @pytest.mark.parametrize("name", sorted(ALL_TECHNIQUES))
+    def test_same_seed_replays_identical_trials(self, name):
+        def run(seed):
+            technique = ALL_TECHNIQUES[name](rng=np.random.default_rng(seed))
+            trials = [technique.select(0, t, 12) for t in (3, 7, 11, 1)]
+            return [(t.duration_s, t.errors, t.operations) for t in trials]
+
+        assert run(123) == run(123)
+        assert run(123) != run(321)
+
+    @pytest.mark.parametrize("name", sorted(ALL_TECHNIQUES))
+    def test_trials_run_counts_selections(self, name):
+        technique = ALL_TECHNIQUES[name](rng=np.random.default_rng(2))
+        assert technique.trials_run == 0
+        technique.select(0, 4, 10)
+        technique.select(2, 6, 10)
+        assert technique.trials_run == 2
+
+
+class TestTechniqueFaults:
+    def test_window_is_half_open(self):
+        fault = TechniqueFault("grip-loss", 2, 5)
+        assert not fault.active(1)
+        assert fault.active(2)
+        assert fault.active(4)
+        assert not fault.active(5)
+
+    @pytest.mark.parametrize("name", sorted(FAULT_SURFACES))
+    def test_undeclared_surface_rejected(self, name):
+        with pytest.raises(ValueError):
+            ALL_TECHNIQUES[name](
+                rng=np.random.default_rng(0),
+                faults=(TechniqueFault("not-a-surface", 0, 3),),
+            )
+
+    def test_idealized_technique_rejects_any_fault(self):
+        with pytest.raises(ValueError):
+            ButtonScroller(
+                rng=np.random.default_rng(0),
+                faults=(TechniqueFault("grip-loss", 0, 3),),
+            )
+
+    @pytest.mark.parametrize(
+        "name,surface", sorted(FAULT_SURFACES.items())
+    )
+    def test_fault_window_degrades_gracefully(self, name, surface):
+        """Inside a window: slower, but every trial still completes."""
+
+        def total(faults):
+            technique = ALL_TECHNIQUES[name](
+                rng=np.random.default_rng(11), faults=faults
+            )
+            durations = [
+                technique.select(0, 8, 12).duration_s for _ in range(12)
+            ]
+            assert all(d > 0 for d in durations)  # no trial ever fails
+            return sum(durations)
+
+        clean = total(())
+        faulted = total((TechniqueFault(surface, 0, 12),))
+        assert faulted > clean
+
+    @pytest.mark.parametrize(
+        "name,surface", sorted(FAULT_SURFACES.items())
+    )
+    def test_window_outside_trials_is_inert(self, name, surface):
+        """A scheduled-but-never-reached window changes no bytes."""
+
+        def run(faults):
+            technique = ALL_TECHNIQUES[name](
+                rng=np.random.default_rng(9), faults=faults
+            )
+            return [
+                technique.select(0, 6, 12).duration_s for _ in range(3)
+            ]
+
+        assert run(()) == run((TechniqueFault(surface, 50, 60),))
+
+
+class TestPointNMoveScroller:
+    def test_glove_pointing_flags(self):
+        technique = PointNMoveScroller(rng=np.random.default_rng(0))
+        assert technique.one_handed
+        assert technique.body_attached  # it is a glove
+        assert not technique.glove_compatible  # it *replaces* the glove
+
+    def test_fitts_sublinear_in_distance(self):
+        technique = PointNMoveScroller(rng=np.random.default_rng(4))
+        near = _mean_time(technique, [(0, 2)] * 15, 40)
+        far = _mean_time(technique, [(0, 38)] * 15, 40)
+        assert far / near < 5.0
+
+
+class TestHeadMouseScroller:
+    def test_hands_free_flags(self):
+        technique = HeadMouseScroller(rng=np.random.default_rng(0))
+        assert technique.one_handed
+        assert technique.glove_compatible  # hands never touch it
+
+    def test_neck_fatigue_slows_late_trials(self):
+        early, late = [], []
+        for seed in range(5):
+            technique = HeadMouseScroller(rng=np.random.default_rng(seed))
+            durations = [
+                technique.select(0, 8, 12).duration_s for _ in range(60)
+            ]
+            early.extend(durations[:10])
+            late.extend(durations[-10:])
+        assert float(np.mean(late)) > float(np.mean(early))
+
+    def test_fatigue_saturates_at_declared_horizon(self):
+        fresh = HeadMouseScroller(rng=np.random.default_rng(3))
+        tired = HeadMouseScroller(rng=np.random.default_rng(3))
+        tired._trials_run = 100  # past fatigue_trials: fully fatigued
+        fresh_mean = float(
+            np.mean([fresh.select(0, 8, 12).duration_s for _ in range(10)])
+        )
+        tired_mean = float(
+            np.mean([tired.select(0, 8, 12).duration_s for _ in range(10)])
+        )
+        assert tired_mean > fresh_mean
+
+
+class TestPressurePadScroller:
+    def test_force_to_rate_completes_far_targets(self):
+        technique = PressurePadScroller(rng=np.random.default_rng(1))
+        trial = technique.select(0, 99, 100)
+        assert trial.duration_s < 60.0
+
+    def test_gloves_hurt_force_control(self):
+        bare_total, arctic_total = 0.0, 0.0
+        for seed in range(10):
+            bare = PressurePadScroller(rng=np.random.default_rng(seed))
+            arctic = PressurePadScroller(
+                rng=np.random.default_rng(seed), glove=GLOVES["arctic"]
+            )
+            bare_total += bare.select(0, 7, 15).duration_s
+            arctic_total += arctic.select(0, 7, 15).duration_s
+        assert arctic_total > bare_total
 
 
 class TestOperatorTimes:

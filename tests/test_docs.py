@@ -54,16 +54,19 @@ def test_markdown_doctests(doc_path):
     )
 
 
+def _import_generator(name):
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        return __import__(name)
+    finally:
+        sys.path.pop(0)
+
+
 class TestGeneratedDocs:
     """The committed generated docs match their generators."""
 
     def _generator(self):
-        sys.path.insert(0, str(REPO / "scripts"))
-        try:
-            import generate_api_docs
-        finally:
-            sys.path.pop(0)
-        return generate_api_docs
+        return _import_generator("generate_api_docs")
 
     def test_api_md_is_current(self):
         generator = self._generator()
@@ -99,4 +102,79 @@ class TestGeneratedDocs:
         assert generator.main(["--check"]) == 1
         assert "stale" in capsys.readouterr().err
         assert generator.main([]) == 0  # regenerates
+        assert generator.main(["--check"]) == 0
+
+
+class TestTechniquesMd:
+    """docs/TECHNIQUES.md matches the technique registry metadata."""
+
+    def _generator(self):
+        return _import_generator("generate_techniques_md")
+
+    def test_techniques_md_is_current(self):
+        generator = self._generator()
+        rendered = generator.render()
+        committed = (REPO / "docs" / "TECHNIQUES.md").read_text(
+            encoding="utf-8"
+        )
+        assert rendered == committed, (
+            "docs/TECHNIQUES.md is stale - run "
+            "`python scripts/generate_techniques_md.py`"
+        )
+
+    def test_covers_every_registered_technique(self):
+        from repro.baselines import ALL_TECHNIQUES
+
+        committed = (REPO / "docs" / "TECHNIQUES.md").read_text(
+            encoding="utf-8"
+        )
+        for key, cls in sorted(ALL_TECHNIQUES.items()):
+            assert f"## `{key}` — {cls.info.title}" in committed
+
+    def test_generator_check_mode(self, tmp_path, monkeypatch, capsys):
+        generator = self._generator()
+        stale = tmp_path / "TECHNIQUES.md"
+        stale.write_text("out of date\n", encoding="utf-8")
+        monkeypatch.setattr(generator, "OUTPUT", stale)
+        monkeypatch.setattr(generator, "REPO", tmp_path)
+        assert generator.main(["--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+        assert generator.main([]) == 0
+        assert generator.main(["--check"]) == 0
+
+
+class TestArenaMd:
+    """docs/ARENA.md matches a fresh run of the tournament."""
+
+    def _generator(self):
+        return _import_generator("generate_arena_md")
+
+    def test_arena_md_is_current(self):
+        generator = self._generator()
+        rendered = generator.render()
+        committed = (REPO / "docs" / "ARENA.md").read_text(encoding="utf-8")
+        assert rendered == committed, (
+            "docs/ARENA.md is stale - run "
+            "`python scripts/generate_arena_md.py`"
+        )
+
+    def test_leaderboard_lists_every_technique(self):
+        from repro.experiments.arena import ARENA_ROSTER
+
+        committed = (REPO / "docs" / "ARENA.md").read_text(encoding="utf-8")
+        for key in ARENA_ROSTER:
+            assert key in committed
+
+    def test_generator_check_mode(self, tmp_path, monkeypatch, capsys):
+        generator = self._generator()
+        # A 2-user tournament keeps the three renders this test needs
+        # fast; the drift test above runs the committed parameters.
+        monkeypatch.setattr(generator, "ARENA_USERS", 2)
+        stale = tmp_path / "ARENA.md"
+        stale.write_text("out of date\n", encoding="utf-8")
+        monkeypatch.setattr(generator, "OUTPUT", stale)
+        monkeypatch.setattr(generator, "REPO", tmp_path)
+        assert generator.main(["--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+        assert generator.main([]) == 0
         assert generator.main(["--check"]) == 0
